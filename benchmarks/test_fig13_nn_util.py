@@ -1,0 +1,19 @@
+"""Figure 13: network utilization per metadata server."""
+
+from repro.experiments import figures
+
+from .conftest import run_and_print
+
+
+def _nums(cell):
+    return [float(x) for x in cell.split("/")]
+
+
+def test_fig13(benchmark):
+    table = run_and_print(benchmark, figures.fig13)
+    rows = {row[0]: row[1:] for row in table.rows}
+    # HopsFS namenodes push an order of magnitude more traffic than MDSs
+    # (CephFS serves most requests from the client-side cache).
+    hops = _nums(rows["HopsFS-CL (3,3)"][0])[0]
+    ceph = _nums(rows["CephFS"][0])[0]
+    assert hops > 2 * ceph

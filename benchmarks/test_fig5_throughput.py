@@ -1,0 +1,27 @@
+"""Figure 5: Spotify-workload throughput vs metadata servers, 9 setups."""
+
+from repro.experiments import figures
+from repro.experiments.runner import server_grid
+
+from .conftest import run_and_print
+
+
+def test_fig5(benchmark):
+    table = run_and_print(benchmark, figures.fig5)
+    grid = server_grid()
+    last = str(grid[-1])
+    tput = {row[0]: row[1:] for row in table.rows}
+    peak = {name: max(values) for name, values in tput.items()}
+
+    # Headline: HopsFS at 1 AZ reaches ~1.6M ops/s at scale.
+    assert peak["HopsFS (2,1)"] > 1_200_000
+    # AZ-unaware 3-AZ deployments lose throughput vs 1 AZ.
+    assert peak["HopsFS (2,3)"] < peak["HopsFS (2,1)"]
+    assert peak["HopsFS (3,3)"] < peak["HopsFS (3,1)"]
+    # HopsFS-CL restores (or beats) the single-AZ level.
+    assert peak["HopsFS-CL (2,3)"] >= 0.95 * peak["HopsFS (2,1)"]
+    assert peak["HopsFS-CL (3,3)"] >= peak["HopsFS (3,3)"]
+    # HopsFS-CL beats the default CephFS setup by ~2x.
+    assert peak["HopsFS-CL (3,3)"] > 1.5 * peak["CephFS"]
+    # Skipping the kernel cache exposes the true (tiny) MDS throughput.
+    assert peak["CephFS - SkipKCache"] < 0.1 * peak["CephFS"]

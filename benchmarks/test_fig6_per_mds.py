@@ -1,0 +1,13 @@
+"""Figure 6: actual requests handled per metadata server."""
+
+from repro.experiments import figures
+
+from .conftest import run_and_print
+
+
+def test_fig6(benchmark):
+    table = run_and_print(benchmark, figures.fig6)
+    rows = {row[0]: row[1:] for row in table.rows}
+    # HopsFS-CL namenodes handle far more requests than CephFS MDSs: the
+    # kernel cache hides most client reads from the MDS.
+    assert max(rows["HopsFS-CL (3,3)"]) > 3 * max(rows["CephFS"])

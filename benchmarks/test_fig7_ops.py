@@ -1,0 +1,22 @@
+"""Figure 7: single-operation microbenchmarks (mkdir/create/delete/read)."""
+
+from repro.experiments import figures
+
+from .conftest import run_and_print
+
+
+def test_fig7(benchmark):
+    table = run_and_print(benchmark, figures.fig7)
+    idx = {h: i for i, h in enumerate(table.headers)}
+    rows = {row[0]: row for row in table.rows}
+
+    def val(setup, op):
+        return rows[setup][idx[op]]
+
+    # Raising the metadata replication factor from 2 to 3 costs mutation
+    # throughput (longer commit chains).
+    assert val("HopsFS (3,1)", "createFile") < val("HopsFS (2,1)", "createFile")
+    # HopsFS-CL beats CephFS on metadata mutations by a wide margin.
+    assert val("HopsFS-CL (3,3)", "createFile") > 3 * val("CephFS", "createFile")
+    # Cached CephFS reads are fast; skipping the cache collapses them.
+    assert val("CephFS - SkipKCache", "readFile") < 0.2 * val("CephFS", "readFile")

@@ -1,0 +1,15 @@
+"""Figure 8: average end-to-end latency under the Spotify workload."""
+
+from repro.experiments import figures
+
+from .conftest import run_and_print
+
+
+def test_fig8(benchmark):
+    table = run_and_print(benchmark, figures.fig8)
+    rows = {row[0]: row[1:] for row in table.rows}
+    # HopsFS-CL is never slower than the AZ-unaware 3-AZ deployments.
+    for n in range(len(rows["HopsFS-CL (3,3)"])):
+        assert rows["HopsFS-CL (3,3)"][n] <= rows["HopsFS (3,3)"][n] * 1.15
+    # Loaded HopsFS latency stays in the paper's 5-15ms band at scale.
+    assert 2.0 < rows["HopsFS (2,1)"][-1] < 20.0

@@ -1,0 +1,15 @@
+"""Table I: inter-AZ latency matrix of us-west1."""
+
+from repro.experiments import figures
+from repro.net import TABLE1_LATENCY_MS
+
+from .conftest import run_and_print
+
+
+def test_table1(benchmark):
+    table = run_and_print(benchmark, figures.table1)
+    # intra-AZ latency is always the row minimum (diagonal dominance)
+    for row in table.rows:
+        name, values = row[0], row[1:]
+        diagonal = TABLE1_LATENCY_MS[(name, name)]
+        assert diagonal == min(values)

@@ -1,0 +1,11 @@
+"""Table II: the 27-thread NDB CPU configuration."""
+
+from repro.experiments import figures
+
+from .conftest import run_and_print
+
+
+def test_table2(benchmark):
+    table = run_and_print(benchmark, figures.table2)
+    total_row = table.rows[-1]
+    assert total_row[1] == 27

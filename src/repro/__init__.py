@@ -1,0 +1,38 @@
+"""HopsFS-CL reproduction: AZ-aware distributed hierarchical file systems.
+
+Reproduces "Distributed Hierarchical File Systems strike back in the
+Cloud" (ICDCS 2020): HopsFS-CL — HopsFS with availability-zone awareness
+at the metadata storage (NDB), metadata serving, and block storage layers
+— evaluated against vanilla HopsFS and a CephFS baseline on a Spotify-like
+metadata workload, all running on a deterministic discrete-event
+simulation of a 3-AZ cloud region.
+
+Quick tour:
+
+>>> from repro import build_hopsfs
+>>> fs = build_hopsfs(num_namenodes=3, azs=(1, 2, 3), az_aware=True)
+>>> client = fs.client(az=2)
+
+See ``examples/quickstart.py`` and DESIGN.md for the full map.
+"""
+
+from .cephfs import build_cephfs
+from .errors import ReproError
+from .hopsfs import HopsFsClient, HopsFsConfig, HopsFsDeployment, build_hopsfs
+from .ndb import NdbCluster, NdbConfig
+from .types import OpType
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "build_cephfs",
+    "ReproError",
+    "HopsFsClient",
+    "HopsFsConfig",
+    "HopsFsDeployment",
+    "build_hopsfs",
+    "NdbCluster",
+    "NdbConfig",
+    "OpType",
+    "__version__",
+]

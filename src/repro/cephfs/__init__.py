@@ -1,0 +1,25 @@
+"""The CephFS baseline: single-threaded MDSs, subtree partitioning,
+kernel-client capability caches and journaling to OSDs.
+
+Three setups from the paper's evaluation: ``build_cephfs()`` (dynamic
+subtree balancing), ``CephConfig(dir_pinning=True)`` (CephFS-DirPinned),
+and ``CephConfig(kclient_cache=False)`` (CephFS-SkipKCache).
+"""
+
+from .cluster import CephCluster, build_cephfs
+from .config import CephConfig
+from .kclient import CephClient
+from .mds import Mds, MdsInode
+from .osd import Osd
+from .subtree import SubtreePartitioner
+
+__all__ = [
+    "CephCluster",
+    "build_cephfs",
+    "CephConfig",
+    "CephClient",
+    "Mds",
+    "MdsInode",
+    "Osd",
+    "SubtreePartitioner",
+]

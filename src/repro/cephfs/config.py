@@ -1,0 +1,50 @@
+"""CephFS model configuration and service costs.
+
+Costs are calibrated against the paper's observations: a single MDS
+handles ~4.2k metadata requests/s (Fig. 6, matching the CephFS paper), the
+MDS is single-threaded behind a global lock, and journal flushing steals
+MDS time under load (Section V-B1, V-D1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+
+__all__ = ["CephConfig"]
+
+
+@dataclass(frozen=True)
+class CephConfig:
+    """Deployment and performance model of the CephFS baseline."""
+
+    num_osds: int = 12
+    osd_replication: int = 3
+    # MDS performance model: single-threaded (the MDS global lock).
+    mds_op_cost_ms: float = 0.19  # read/lookup service time (single thread)
+    mds_mutation_cost_ms: float = 0.76  # journaled namespace updates cost more
+    mds_cap_track_cost_ms: float = 0.03  # bookkeeping per capability grant
+    mds_cap_revoke_cost_ms: float = 0.02  # per holder notified on mutation
+    # Journal: every mutation appends; the MDS periodically flushes to OSDs.
+    journal_entry_bytes: int = 1536
+    journal_flush_interval_ms: float = 5.0
+    journal_flush_cpu_ms: float = 0.35  # MDS time consumed per flush
+    osd_disk_bandwidth_bytes_per_ms: float = 110_000.0
+    osd_write_cost_ms: float = 0.02
+    # Kernel client: capability-cache hits are served locally.
+    kclient_hit_cost_ms: float = 0.10
+    kclient_cache: bool = True  # False = the paper's SkipKCache setup
+    # Subtree partitioning: "dynamic" (default balancer) or "pinned".
+    dir_pinning: bool = False
+    client_request_bytes: int = 384
+    client_response_bytes: int = 512
+    # MDS failover: a surviving rank adopts a dead rank's subtrees after
+    # detection plus journal replay (the failover-time cost Section V-A-b
+    # attributes to DirPinned deployments).
+    mds_failover_detect_ms: float = 1000.0
+    mds_journal_replay_bytes_per_ms: float = 50_000.0
+
+    def __post_init__(self) -> None:
+        if self.num_osds < self.osd_replication:
+            raise ConfigError("need at least osd_replication OSDs")

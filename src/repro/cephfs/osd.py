@@ -1,0 +1,80 @@
+"""Ceph object storage daemons (OSDs).
+
+OSDs store the file data *and* the metadata: the MDS journal and metadata
+objects are RADOS objects replicated ``osd_replication`` ways.  For the
+metadata benchmarks the dominant OSD load is the MDS journal stream
+(Fig. 12d), which is what this model reproduces.
+"""
+
+from __future__ import annotations
+
+from ..errors import FsError
+from ..net.network import Message, Network
+from ..sim import Environment
+from ..sim.resources import CorePool, Disk
+from ..types import AzId, NodeAddress
+
+__all__ = ["Osd"]
+
+
+class Osd:
+    """One OSD process: a disk plus a small CPU for request handling."""
+
+    def __init__(
+        self,
+        env: Environment,
+        network: Network,
+        addr: NodeAddress,
+        az: AzId,
+        disk_bandwidth_bytes_per_ms: float,
+        cpu_cost_ms: float,
+    ):
+        self.env = env
+        self.network = network
+        self.addr = addr
+        self.az = az
+        self.cpu_cost_ms = cpu_cost_ms
+        self.mailbox = network.register(addr)
+        self.cpu = CorePool(env, 4, name=f"{addr}:cpu")
+        self.disk = Disk(env, disk_bandwidth_bytes_per_ms, name=f"{addr}:disk")
+        self.objects: dict[str, int] = {}
+        self.running = False
+
+    def start(self) -> None:
+        if self.running:
+            return
+        self.running = True
+        self.env.process(self._dispatch(), name=f"{self.addr}:osd")
+
+    def shutdown(self) -> None:
+        self.running = False
+        self.network.set_down(self.addr)
+
+    def _dispatch(self):
+        while True:
+            msg = yield self.mailbox.get()
+            if not self.running:
+                continue
+            self.env.process(self._handle(msg), name=f"{self.addr}:{msg.kind}")
+
+    def _handle(self, msg: Message):
+        yield self.cpu.submit(self.cpu_cost_ms)
+        if not self.running:
+            return
+        if msg.kind == "osd_write":
+            name, nbytes = msg.payload
+            yield self.disk.write(nbytes)
+            if self.running:
+                self.objects[name] = self.objects.get(name, 0) + nbytes
+                self.network.reply(msg, True, size=64)
+        elif msg.kind == "osd_read":
+            name = msg.payload
+            nbytes = self.objects.get(name)
+            if nbytes is None:
+                self.network.reply(msg, FsError(f"no object {name}"), ok=False)
+                return
+            yield self.disk.read(nbytes)
+            if self.running:
+                self.network.reply(msg, nbytes, size=max(64, nbytes))
+        else:
+            raise FsError(f"{self.addr}: unknown OSD message {msg.kind!r}")

@@ -1,0 +1,104 @@
+"""Command-line interface: regenerate any table/figure or run one point.
+
+Usage:
+    python -m repro fig5                 # print Figure 5's series
+    python -m repro table1 table2        # multiple at once
+    python -m repro all                  # everything (slow)
+    python -m repro point "HopsFS-CL (3,3)" --servers 24
+    python -m repro list                 # available targets and setups
+
+Scale knobs are the same as the benchmark suite's: REPRO_BENCH_FULL=1 for
+the paper's full server grid, REPRO_BENCH_SCALE for window scaling.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .experiments import SETUPS, RunConfig, run_point
+from .experiments import figures
+
+_TARGETS = [
+    "table1",
+    "table2",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+]
+
+
+def _run_target(name: str) -> None:
+    fn = getattr(figures, name)
+    table = fn()
+    print()
+    print(table.render())
+
+
+def _cmd_point(args) -> int:
+    if args.setup not in SETUPS:
+        print(f"unknown setup {args.setup!r}; see `python -m repro list`", file=sys.stderr)
+        return 2
+    config = RunConfig(warmup_ms=args.warmup, window_ms=args.window)
+    point = run_point(args.setup, args.servers, config=config)
+    print(f"setup:          {point.setup}")
+    print(f"servers:        {point.servers}")
+    print(f"throughput:     {point.throughput_ops_s:,.0f} ops/s")
+    print(f"avg latency:    {point.avg_latency_ms:.2f} ms")
+    print(f"p50/p90/p99:    {point.p50_ms:.2f} / {point.p90_ms:.2f} / {point.p99_ms:.2f} ms")
+    print(f"completed:      {point.completed} ops ({point.failed} failed)")
+    r = point.resource
+    print(f"storage CPU:    {r.storage_cpu_pct:.1f} %")
+    print(f"server CPU:     {r.server_cpu_pct:.1f} %")
+    print(f"cross-AZ bytes: {r.cross_az_mb:.2f} MB  (intra-AZ {r.intra_az_mb:.2f} MB)")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command")
+
+    point = sub.add_parser("point", help="run one (setup, servers) measurement")
+    point.add_argument("setup")
+    point.add_argument("--servers", type=int, default=6)
+    point.add_argument("--warmup", type=float, default=15.0)
+    point.add_argument("--window", type=float, default=15.0)
+    point.set_defaults(func=_cmd_point)
+
+    sub.add_parser("list", help="list targets and setups")
+    for target in _TARGETS + ["all"]:
+        sub.add_parser(target, help=f"regenerate {target}")
+
+    args, extra = parser.parse_known_args(argv)
+    command = args.command
+    if command is None:
+        parser.print_help()
+        return 1
+    if command == "list":
+        print("targets:", ", ".join(_TARGETS), "(or 'all')")
+        print("setups:")
+        for name in SETUPS:
+            print(f"  {name}")
+        return 0
+    if command == "point":
+        return args.func(args)
+    targets = _TARGETS if command == "all" else [command] + [
+        t for t in extra if t in _TARGETS
+    ]
+    for target in targets:
+        _run_target(target)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,14 @@
+"""Experiment harness: the nine setups, the runner, and figure drivers."""
+
+from .runner import PointResult, RunConfig, run_point, server_grid
+from .setups import SETUPS, SetupSpec, build_setup
+
+__all__ = [
+    "PointResult",
+    "RunConfig",
+    "run_point",
+    "server_grid",
+    "SETUPS",
+    "SetupSpec",
+    "build_setup",
+]

@@ -1,0 +1,233 @@
+"""Experiment runner: one (setup, server-count, workload) point at a time.
+
+Methodology mirrors the paper's: preload a namespace, run closed-loop
+clients to saturation (Fig. 5) or an open-loop arrival stream at a target
+rate (Fig. 9), measure throughput/latency inside a warm window, and
+snapshot resource counters around it (Figs. 10-13).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..metrics.collectors import MetricsCollector
+from ..metrics.utilization import ResourceReport
+from ..types import OpType
+from ..workloads.driver import ClosedLoopDriver, OpenLoopDriver
+from ..workloads.namespace import generate_namespace
+from ..workloads.spotify import SingleOpWorkload, SpotifyWorkload
+from .setups import SETUPS, SetupSpec
+
+__all__ = ["PointResult", "RunConfig", "run_point", "bench_scale", "server_grid"]
+
+
+def bench_scale() -> float:
+    """Wall-clock knob: scales windows/client counts (REPRO_BENCH_SCALE)."""
+    return float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+def server_grid(full_env: str = "REPRO_BENCH_FULL") -> list[int]:
+    """Metadata-server counts for sweep figures.
+
+    The paper's grid is {1, 6, 12, 18, 24, 36, 48, 60}; the default quick
+    grid keeps the endpoints and the knee.  Set REPRO_BENCH_FULL=1 for the
+    full grid.
+    """
+    if os.environ.get(full_env):
+        return [1, 6, 12, 18, 24, 36, 48, 60]
+    return [1, 6, 24, 60]
+
+
+@dataclass
+class RunConfig:
+    """Knobs for one experiment point."""
+
+    clients_per_server: int = 160
+    warmup_ms: float = 30.0
+    window_ms: float = 30.0
+    namespace_top_dirs: int = 8
+    namespace_dirs_per_top: int = 64
+    namespace_files_per_dir: int = 32
+    seed: int = 0
+    open_loop_rate_per_ms: Optional[float] = None
+    max_clients: int = 12_000
+
+    def scaled(self) -> "RunConfig":
+        scale = bench_scale()
+        if scale == 1.0:
+            return self
+        clone = RunConfig(**self.__dict__)
+        clone.window_ms = self.window_ms * scale
+        clone.warmup_ms = self.warmup_ms * scale
+        return clone
+
+
+@dataclass
+class PointResult:
+    """Everything measured at one (setup, servers) point."""
+
+    setup: str
+    servers: int
+    throughput_ops_s: float
+    avg_latency_ms: float
+    p50_ms: float
+    p90_ms: float
+    p99_ms: float
+    completed: int
+    failed: int
+    resource: ResourceReport
+    per_server_ops_s: float = 0.0
+    mds_requests_s: Optional[float] = None
+    extra: dict = field(default_factory=dict)
+
+    def percentiles_for(self, op: OpType, collector: MetricsCollector):
+        return collector.latency_percentiles(op=op)
+
+
+def run_point(
+    spec: SetupSpec | str,
+    num_servers: int,
+    workload: str = "spotify",
+    op: Optional[OpType] = None,
+    config: Optional[RunConfig] = None,
+    keep_collector: bool = False,
+):
+    """Run one measurement point; returns a :class:`PointResult`.
+
+    ``workload='spotify'`` replays the industrial mix; ``workload='single'``
+    with ``op`` runs the Fig. 7 microbenchmarks.  Set
+    ``config.open_loop_rate_per_ms`` for fixed-rate (Fig. 9) runs.
+    """
+    if isinstance(spec, str):
+        spec = SETUPS[spec]
+    config = (config or RunConfig()).scaled()
+    adapter = spec.build(num_servers, seed=config.seed)
+    env = adapter.env
+
+    namespace = generate_namespace(
+        num_top_dirs=config.namespace_top_dirs,
+        dirs_per_top=config.namespace_dirs_per_top,
+        files_per_dir=config.namespace_files_per_dir,
+        seed=config.seed,
+    )
+    adapter.install(namespace)
+    env.run_process(adapter.ready(), until=env.now + 60_000)
+
+    if workload == "single":
+        if op is None:
+            raise ValueError("single-op workload needs op=")
+        gen = SingleOpWorkload(op, namespace, seed=config.seed)
+        if op is OpType.DELETE_FILE:
+            _precreate(adapter, gen, config)
+    else:
+        gen = SpotifyWorkload(namespace, seed=config.seed, tag=spec.name)
+
+    per_server = getattr(adapter, "preferred_clients_per_server", config.clients_per_server)
+    num_clients = min(config.max_clients, per_server * num_servers)
+    clients = adapter.make_clients(num_clients)
+    if hasattr(adapter, "warm_client_caches"):
+        adapter.warm_client_caches(clients, gen)
+    collector = MetricsCollector()
+    if config.open_loop_rate_per_ms is not None:
+        driver = OpenLoopDriver(
+            env, clients, gen, collector, rate_per_ms=config.open_loop_rate_per_ms
+        )
+    else:
+        driver = ClosedLoopDriver(env, clients, gen, collector)
+    driver.start()
+
+    env.run(until=env.now + config.warmup_ms)
+    snap = adapter.utilization_snapshot()
+    collector.open_window(env.now)
+    env.run(until=env.now + config.window_ms)
+    collector.close_window(env.now)
+    resource = adapter.utilization_report(snap)
+    driver.stop()
+
+    pcts = collector.latency_percentiles()
+    result = PointResult(
+        setup=spec.name,
+        servers=num_servers,
+        throughput_ops_s=collector.throughput_ops_per_sec(),
+        avg_latency_ms=collector.avg_latency_ms(),
+        p50_ms=pcts[50],
+        p90_ms=pcts[90],
+        p99_ms=pcts[99],
+        completed=collector.completed,
+        failed=collector.failed,
+        resource=resource,
+        per_server_ops_s=collector.throughput_ops_per_sec() / max(1, num_servers),
+    )
+    if hasattr(adapter, "mds_requests_since"):
+        window_s = collector.window_ms / 1000.0
+        if window_s > 0:
+            result.mds_requests_s = adapter.mds_requests_since(snap) / window_s
+    if keep_collector:
+        result.extra["collector"] = collector
+        result.extra["adapter"] = adapter
+    return result
+
+
+def _precreate(adapter, gen: SingleOpWorkload, config: RunConfig) -> None:
+    """Install the victims a deleteFile microbenchmark will remove."""
+    # Enough for the whole run at a generous rate estimate.
+    budget = int(3000 * (config.warmup_ms + config.window_ms))
+    budget = min(budget, 120_000)
+    paths = gen.precreate_paths(budget)
+    if hasattr(adapter, "deployment"):
+        from ..hopsfs.metadata import INODES_TABLE, InodeRow
+
+        dep = adapter.deployment
+        # Resolve parent ids from the installed namespace via a direct scan
+        # of any datanode's fragment store (preload-time shortcut).
+        store = next(iter(dep.ndb.datanodes.values())).store
+        path_ids = {}
+        rows = []
+        for path in paths:
+            parent_path, _s, name = path.rpartition("/")
+            parent_id = _lookup_dir_id(dep, parent_path)
+            if parent_id is None:
+                continue
+            inode_id = dep.ids.next_inode_id()
+            rows.append(
+                (
+                    (parent_id, name),
+                    parent_id,
+                    InodeRow(
+                        id=inode_id,
+                        parent_id=parent_id,
+                        name=name,
+                        is_dir=False,
+                        small_data=b"",
+                    ),
+                )
+            )
+        dep.ndb.preload(INODES_TABLE, rows)
+    else:
+        cluster = adapter.cluster
+        cluster.preload([(p, False) for p in paths])
+
+
+_DIR_ID_CACHE_ATTR = "_bench_dir_id_cache"
+
+
+def _lookup_dir_id(dep, path: str):
+    """Resolve a directory path to its inode id via the fragment stores."""
+    cache = getattr(dep, _DIR_ID_CACHE_ATTR, None)
+    if cache is None:
+        cache = {"/": 1, "": 1}
+        setattr(dep, _DIR_ID_CACHE_ATTR, cache)
+    if path in cache:
+        return cache[path]
+    parent_path, _s, name = path.rpartition("/")
+    parent_id = _lookup_dir_id(dep, parent_path)
+    if parent_id is None:
+        return None
+    for dn in dep.ndb.datanodes.values():
+        row = dn.store.read("inodes", (parent_id, name))
+        if row is not None:
+            cache[path] = row.id
+            return row.id
+    return None

@@ -1,0 +1,232 @@
+"""The HopsFS DFS client.
+
+Clients pick one metadata server and stick with it until it fails
+(Section II-A2).  In HopsFS-CL the selection is AZ-local: the client asks
+the leader-maintained membership list for servers sharing its
+``locationDomainId`` and falls back to a random live server (Section
+IV-B3, ``locationDomainId`` 0 disables the affinity).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import FsError, HostUnreachableError, NoNamenodeError
+from ..net.network import Network
+from ..sim import Environment
+from ..types import ANY_AZ, AzId, NodeAddress, OpType
+from .datanode import ReadBlockReq, WriteBlockReq
+from .metadata import BLOCK_SIZE_BYTES, SMALL_FILE_MAX_BYTES
+
+__all__ = ["HopsFsClient"]
+
+
+class HopsFsClient:
+    """A file-system client bound to one simulated host."""
+
+    def __init__(
+        self,
+        env: Environment,
+        network: Network,
+        addr: NodeAddress,
+        namenode_addrs,
+        location_domain_id: AzId = ANY_AZ,
+        rng=None,
+        request_bytes: int = 256,
+        max_failovers: int = 4,
+    ):
+        self.env = env
+        self.network = network
+        self.addr = addr
+        self.namenode_addrs = list(namenode_addrs)
+        self.location_domain_id = location_domain_id
+        self.rng = rng
+        self.request_bytes = request_bytes
+        self.max_failovers = max_failovers
+        self.current_nn: Optional[NodeAddress] = None
+        self.failovers = 0
+        network.register(addr)
+
+    # ------------------------------------------------------- NN selection
+    def _choice(self, seq):
+        if self.rng is None:
+            return seq[0]
+        return self.rng.choice(seq)
+
+    def _pick_namenode(self):
+        """Fetch the active-NN list from any live NN, then apply the policy."""
+        bootstrap = list(self.namenode_addrs)
+        if self.rng is not None:
+            self.rng.shuffle(bootstrap)
+        active = None
+        for nn in bootstrap:
+            try:
+                active = yield self.network.call(
+                    self.addr, nn, "get_active_nns", size=self.request_bytes
+                )
+                break
+            except HostUnreachableError:
+                continue
+        if active is None:
+            raise NoNamenodeError("no metadata server reachable")
+        if not active:
+            # Election has not yet converged; fall back to the static list.
+            active = [(i, nn, 0) for i, nn in enumerate(bootstrap)]
+        if self.location_domain_id != ANY_AZ:
+            local = [a for a in active if a[2] == self.location_domain_id]
+            if local:
+                self.current_nn = self._choice(local)[1]
+                return self.current_nn
+        self.current_nn = self._choice(active)[1]
+        return self.current_nn
+
+    # ------------------------------------------------------------ operations
+    def op(self, op: OpType, **kwargs):
+        """Run one metadata operation, failing over across NN deaths."""
+        failures = 0
+        while True:
+            if self.current_nn is None:
+                yield from self._pick_namenode()
+            try:
+                result = yield self.network.call(
+                    self.addr,
+                    self.current_nn,
+                    "fs_op",
+                    (op, kwargs),
+                    size=self.request_bytes,
+                )
+                return result
+            except HostUnreachableError:
+                # Select a random surviving metadata server and retry.
+                self.current_nn = None
+                self.failovers += 1
+                failures += 1
+                if failures > self.max_failovers:
+                    raise NoNamenodeError(f"{op}: no metadata server after retries")
+
+    # Convenience wrappers -----------------------------------------------------
+    def mkdir(self, path: str):
+        result = yield from self.op(OpType.MKDIR, path=path)
+        return result
+
+    def mkdirs(self, path: str):
+        """Create a directory and any missing ancestors (mkdir -p)."""
+        result = yield from self.op(OpType.MKDIRS, path=path)
+        return result
+
+    def create(self, path: str, data: bytes = b"", replication: Optional[int] = None):
+        """Create a file; large payloads stream through the block layer."""
+        inode_id = yield from self.op(
+            OpType.CREATE_FILE,
+            path=path,
+            data=data,
+            replication=replication,
+            client=str(self.addr),
+        )
+        if len(data) <= SMALL_FILE_MAX_BYTES:
+            return inode_id
+        remaining = len(data)
+        while remaining > 0:
+            block = yield from self.op(OpType.ADD_BLOCK, path=path, client=str(self.addr))
+            chunk = min(remaining, BLOCK_SIZE_BYTES)
+            yield from self._write_pipeline(block, chunk)
+            remaining -= chunk
+        yield from self.op(
+            OpType.COMPLETE_FILE, path=path, size=len(data), client=str(self.addr)
+        )
+        return inode_id
+
+    def _write_pipeline(self, block, nbytes: int):
+        req = WriteBlockReq(
+            block_id=block.block_id, nbytes=nbytes, pipeline=tuple(block.locations), hop=0
+        )
+        try:
+            yield self.network.call(
+                self.addr, block.locations[0], "write_block", req, size=nbytes
+            )
+        except HostUnreachableError as exc:
+            raise FsError(f"write pipeline failed: {exc}") from exc
+
+    def read(self, path: str):
+        result = yield from self.op(OpType.READ_FILE, path=path)
+        return result
+
+    def read_data(self, path: str):
+        """Read a file's *data*: inline bytes, or blocks from datanodes.
+
+        Block replicas are fetched from the replica nearest to this client
+        (same AZ when one exists) — the cost-aware reading the paper's
+        future work motivates: intra-AZ block traffic is free, inter-AZ
+        is billed (Section III C2).  Returns the number of bytes read.
+        """
+        content = yield from self.op(OpType.READ_FILE, path=path)
+        if content.is_small:
+            return len(content.small_data)
+        topology = self.network.topology
+        total = 0
+        for block in content.blocks:
+            locations = list(block.locations)
+            if not locations:
+                raise FsError(f"block {block.block_id} has no replicas")
+            if self.location_domain_id != ANY_AZ:
+                local = [
+                    dn for dn in locations
+                    if topology.az_of(dn) == self.location_domain_id
+                ]
+                if local:
+                    locations = local
+            # Try the preferred (AZ-local) replicas first, then the rest.
+            ordered = list(locations)
+            if self.rng is not None:
+                self.rng.shuffle(ordered)
+            others = [dn for dn in block.locations if dn not in ordered]
+            nbytes = None
+            last_error = None
+            for target in ordered + others:
+                try:
+                    nbytes = yield self.network.call(
+                        self.addr,
+                        target,
+                        "read_block",
+                        ReadBlockReq(block_id=block.block_id),
+                        size=64,
+                    )
+                    break
+                except (HostUnreachableError, FsError) as exc:
+                    last_error = exc
+            if nbytes is None:
+                raise FsError(
+                    f"no live replica for block {block.block_id}: {last_error}"
+                )
+            total += nbytes
+        return total
+
+    def stat(self, path: str):
+        result = yield from self.op(OpType.STAT, path=path)
+        return result
+
+    def exists(self, path: str):
+        result = yield from self.op(OpType.EXISTS, path=path)
+        return result
+
+    def listdir(self, path: str):
+        result = yield from self.op(OpType.LIST_DIR, path=path)
+        return result
+
+    def delete(self, path: str, recursive: bool = False):
+        result = yield from self.op(OpType.DELETE_FILE, path=path, recursive=recursive)
+        return result
+
+    def rename(self, src: str, dst: str):
+        result = yield from self.op(OpType.RENAME, src=src, dst=dst)
+        return result
+
+    def chmod(self, path: str, permission: int):
+        result = yield from self.op(OpType.CHMOD, path=path, permission=permission)
+        return result
+
+    def set_replication(self, path: str, replication: int):
+        result = yield from self.op(
+            OpType.SET_REPLICATION, path=path, replication=replication
+        )
+        return result

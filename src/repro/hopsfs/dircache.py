@@ -1,0 +1,57 @@
+"""Namenode-side directory (path-component) cache.
+
+HopsFS namenodes cache the inodes of directory path components (FAST'17):
+the top of the hierarchy is read-mostly, and without the cache every
+operation's path resolution would hammer the partition holding the root
+directory's children.  Entries are directories only, expire after a TTL,
+and are invalidated locally when this NN mutates the directory.  Staleness
+across NNs is bounded by the TTL and is safe: every operation's target
+correctness is still guarded by its row locks in NDB (a stale parent makes
+the operation's locked read fail, and the client retries).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from .metadata import InodeRow
+
+__all__ = ["DirCache"]
+
+
+class DirCache:
+    """Maps ``(parent_id, name)`` to a directory's :class:`InodeRow`."""
+
+    def __init__(self, now: Callable[[], float], ttl_ms: float = 5000.0, max_entries: int = 100_000):
+        self._now = now
+        self.ttl_ms = ttl_ms
+        self.max_entries = max_entries
+        self._entries: dict[tuple[int, str], tuple[float, InodeRow]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, parent_id: int, name: str) -> Optional[InodeRow]:
+        entry = self._entries.get((parent_id, name))
+        if entry is None:
+            self.misses += 1
+            return None
+        cached_at, row = entry
+        if self._now() - cached_at > self.ttl_ms:
+            del self._entries[(parent_id, name)]
+            self.misses += 1
+            return None
+        self.hits += 1
+        return row
+
+    def put(self, row: InodeRow) -> None:
+        if not row.is_dir:
+            return
+        if len(self._entries) >= self.max_entries:
+            self._entries.clear()
+        self._entries[(row.parent_id, row.name)] = (self._now(), row)
+
+    def invalidate(self, parent_id: int, name: str) -> None:
+        self._entries.pop((parent_id, name), None)
+
+    def __len__(self) -> int:
+        return len(self._entries)

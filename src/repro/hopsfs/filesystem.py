@@ -1,0 +1,217 @@
+"""Deployment builder: assemble HopsFS / HopsFS-CL clusters.
+
+``build_hopsfs(az_aware=False, ...)`` gives vanilla HopsFS; with
+``az_aware=True`` every layer becomes AZ-aware (HopsFS-CL): Read Backup on
+all tables, AZ-aware TC selection and proximity ordering in NDB, AZ-local
+metadata-server selection for clients, and AZ-aware block placement.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from ..errors import ConfigError
+from ..ndb import NdbCluster, NdbConfig
+from ..ndb.cluster import az_assignment_for
+from ..net import Network, build_us_west1
+from ..sim import Environment, RngRegistry
+from ..types import ANY_AZ, AzId, NodeAddress, NodeKind
+from .blocks import PlacementPolicy
+from .client import HopsFsClient
+from .config import HopsFsConfig
+from .datanode import BlockStoreDatanode
+from .metadata import IdGenerator, define_fs_schema
+from .namenode import Namenode
+from .pathlock import root_row
+
+__all__ = ["HopsFsDeployment", "build_hopsfs"]
+
+
+@dataclass
+class HopsFsDeployment:
+    """A running HopsFS(-CL) cluster plus factories for clients."""
+
+    env: Environment
+    network: Network
+    ndb: NdbCluster
+    namenodes: list[Namenode]
+    block_datanodes: list[BlockStoreDatanode]
+    config: HopsFsConfig
+    azs: tuple[AzId, ...]
+    az_aware: bool
+    ids: IdGenerator
+    rng: RngRegistry
+    _client_ids: itertools.count = field(default_factory=lambda: itertools.count(1))
+    _client_az_cycle: Optional[itertools.cycle] = None
+
+    @property
+    def topology(self):
+        return self.network.topology
+
+    def namenode_addrs(self) -> list[NodeAddress]:
+        return [nn.addr for nn in self.namenodes]
+
+    def client(self, az: Optional[AzId] = None) -> HopsFsClient:
+        """Create a client host; AZs rotate over the deployment's AZs."""
+        if az is None:
+            if self._client_az_cycle is None:
+                self._client_az_cycle = itertools.cycle(self.azs)
+            az = next(self._client_az_cycle)
+        index = next(self._client_ids)
+        addr = NodeAddress(NodeKind.CLIENT, index)
+        self.topology.add_host(addr, az=az, cores=8)
+        return HopsFsClient(
+            env=self.env,
+            network=self.network,
+            addr=addr,
+            namenode_addrs=self.namenode_addrs(),
+            location_domain_id=az if self.az_aware else ANY_AZ,
+            rng=self.rng.stream(f"client:{index}"),
+            request_bytes=self.config.client_request_bytes,
+            max_failovers=self.config.client_max_failovers,
+        )
+
+    def leader_namenode(self) -> Optional[Namenode]:
+        for nn in self.namenodes:
+            if nn.running and nn.is_leader:
+                return nn
+        return None
+
+    def await_election(self):
+        """Generator: wait until the election view has stabilized.
+
+        The first round only shows each NN its own row (concurrent rounds
+        commit after the scan); after every live NN has completed two
+        rounds the membership view and leader are consistent.
+        """
+        while any(nn.running and nn.election.rounds < 2 for nn in self.namenodes):
+            yield self.env.timeout(1.0)
+
+
+def build_hopsfs(
+    num_namenodes: int = 2,
+    azs: Sequence[AzId] = (2,),
+    az_aware: bool = False,
+    ndb_replication: int = 2,
+    num_ndb_datanodes: int = 12,
+    num_block_datanodes: int = 0,
+    env: Optional[Environment] = None,
+    seed: int = 0,
+    hopsfs_config: Optional[HopsFsConfig] = None,
+    ndb_config: Optional[NdbConfig] = None,
+    election: bool = True,
+    heartbeats: bool = False,
+    jitter_frac: float = 0.0,
+    az_link_bandwidth_bytes_per_ms: Optional[float] = None,
+    fully_replicated_leader: bool = False,
+) -> HopsFsDeployment:
+    """Build a full deployment in a fresh (or given) simulation environment.
+
+    ``azs`` lists the AZs hosting data (paper setups: ``(2,)`` for one AZ,
+    ``(2, 3)`` or ``(1, 2, 3)`` for HA).  Management nodes are placed one
+    per region AZ with the arbitrator in the AZ with the fewest datanodes
+    (Figures 3 and 4).
+    """
+    azs = tuple(azs)
+    if not azs:
+        raise ConfigError("need at least one AZ")
+    env = env or Environment()
+    rng = RngRegistry(seed=seed)
+    topology = build_us_west1()
+    network = Network(
+        env,
+        topology,
+        jitter_frac=jitter_frac,
+        rng=rng.stream("net") if jitter_frac else None,
+        az_link_bandwidth_bytes_per_ms=az_link_bandwidth_bytes_per_ms,
+    )
+    config = hopsfs_config or HopsFsConfig()
+    if ndb_config is None:
+        ndb_config = NdbConfig(
+            num_datanodes=num_ndb_datanodes,
+            replication=ndb_replication,
+            az_aware=az_aware,
+        )
+    schema = define_fs_schema(
+        read_backup=az_aware, fully_replicated_leader=fully_replicated_leader
+    )
+
+    # Arbitrator AZ first: the region AZ hosting the fewest NDB datanodes.
+    data_az_load = {az: 0 for az in range(1, topology.num_azs + 1)}
+    dn_azs = az_assignment_for(ndb_config.num_datanodes, ndb_config.replication, list(azs))
+    for az in dn_azs:
+        data_az_load[az] += 1
+    mgmt_azs = sorted(data_az_load, key=lambda az: (data_az_load[az], az))
+
+    ndb = NdbCluster(
+        env,
+        network,
+        ndb_config,
+        schema,
+        datanode_azs=dn_azs,
+        mgmt_azs=mgmt_azs,
+        rng=rng,
+    )
+
+    ids = IdGenerator()
+    namenodes = []
+    for i in range(num_namenodes):
+        az = azs[i % len(azs)]
+        addr = NodeAddress(NodeKind.NAMENODE, i + 1)
+        topology.add_host(addr, az=az, cores=config.nn_cores)
+        namenodes.append(
+            Namenode(
+                env,
+                network,
+                ndb,
+                config,
+                addr,
+                az,
+                nn_id=i + 1,
+                ids=ids,
+                placement_policy=(
+                    PlacementPolicy.AZ_AWARE if az_aware else PlacementPolicy.DEFAULT
+                ),
+            )
+        )
+
+    block_datanodes = []
+    for i in range(num_block_datanodes):
+        az = azs[i % len(azs)]
+        addr = NodeAddress(NodeKind.DATANODE, i + 1)
+        topology.add_host(addr, az=az, cores=8)
+        block_datanodes.append(
+            BlockStoreDatanode(
+                env,
+                network,
+                addr,
+                az,
+                namenode_addrs=[nn.addr for nn in namenodes],
+                heartbeat_interval_ms=config.dn_heartbeat_interval_ms,
+                disk_bandwidth_bytes_per_ms=config.dn_disk_bandwidth_bytes_per_ms,
+            )
+        )
+
+    # Install the root directory before anything runs.
+    ndb.preload("inodes", [((0, ""), 0, root_row())])
+
+    ndb.start(heartbeats=heartbeats)
+    for nn in namenodes:
+        nn.start(election=election)
+    for dn in block_datanodes:
+        dn.start()
+
+    return HopsFsDeployment(
+        env=env,
+        network=network,
+        ndb=ndb,
+        namenodes=namenodes,
+        block_datanodes=block_datanodes,
+        config=config,
+        azs=azs,
+        az_aware=az_aware,
+        ids=ids,
+        rng=rng,
+    )

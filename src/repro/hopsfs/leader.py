@@ -1,0 +1,84 @@
+"""Leader election among the metadata servers, via NDB rows.
+
+Implements the NewSQL-based election of [28] as used by HopsFS: every NN
+periodically bumps a counter in its row of the ``leader`` table and scans
+the table; rows whose timestamp is recent identify the live NNs, and the
+live NN with the smallest id is the leader.  HopsFS-CL extends each round
+to also report the server's ``locationDomainId`` (Section IV-B3), which is
+what lets clients pick an AZ-local metadata server.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import NdbError, TransactionAbortedError
+from ..ndb.client import run_transaction
+from .metadata import LEADER_TABLE, LeaderRow
+
+__all__ = ["LeaderElectionService"]
+
+# All leader rows share one partition key so a single partition-pruned scan
+# returns the full membership view.
+_LEADER_PARTITION = "leader"
+
+
+class LeaderElectionService:
+    """One NN's participation in the election protocol."""
+
+    def __init__(self, namenode, period_ms: float, missed_rounds: int = 2):
+        self.nn = namenode
+        self.period_ms = period_ms
+        self.missed_rounds = missed_rounds
+        self.counter = 0
+        self.leader_id: Optional[int] = None
+        # Latest membership view: [(nn_id, address, az)], sorted by id.
+        self.active: list[tuple[int, object, int]] = []
+        self.rounds = 0
+
+    @property
+    def is_leader(self) -> bool:
+        return self.leader_id == self.nn.nn_id
+
+    def start(self) -> None:
+        self.nn.env.process(self._loop(), name=f"{self.nn.addr}:election")
+
+    def _loop(self):
+        env = self.nn.env
+        while self.nn.running:
+            try:
+                yield from self._round()
+            except (NdbError, TransactionAbortedError):
+                pass  # NDB hiccup: keep the previous view, try next round
+            self.rounds += 1
+            yield env.timeout(self.period_ms)
+
+    def _round(self):
+        env = self.nn.env
+        self.counter += 1
+        row = LeaderRow(
+            nn_id=self.nn.nn_id,
+            counter=self.counter,
+            updated_ms=env.now,
+            location_domain_id=self.nn.az,
+            address=self.nn.addr,
+        )
+
+        def body(txn):
+            yield from txn.write(
+                LEADER_TABLE, self.nn.nn_id, row, partition_key=_LEADER_PARTITION
+            )
+            rows = yield from txn.scan(LEADER_TABLE, _LEADER_PARTITION)
+            return rows
+
+        rows = yield from run_transaction(
+            self.nn.api, body, hint_table=LEADER_TABLE, hint_key=_LEADER_PARTITION
+        )
+        horizon = env.now - self.period_ms * self.missed_rounds
+        live = sorted(
+            (r.nn_id, r.address, r.location_domain_id)
+            for _pk, r in rows
+            if r.updated_ms >= horizon or r.nn_id == self.nn.nn_id
+        )
+        self.active = live
+        self.leader_id = live[0][0] if live else self.nn.nn_id

@@ -1,0 +1,274 @@
+"""The stateless metadata server (NN).
+
+Namenodes hold no namespace state: every operation is a transaction
+against NDB.  The granular locking scheme lets the handler pool use all
+cores of the VM (Fig. 10b).  Each NN participates in leader election; the
+leader additionally monitors block-storage datanodes and drives
+re-replication (Section IV-C2).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import (
+    FsError,
+    HostUnreachableError,
+    NdbError,
+    SafeModeError,
+    TransactionAbortedError,
+)
+from ..ndb.client import run_transaction
+from ..net.network import Message, Network
+from ..sim import Environment
+from ..sim.resources import CorePool
+from ..types import AzId, NodeAddress, OpType
+from . import ops
+from .blocks import BlockManager, PlacementPolicy
+from .config import HopsFsConfig
+from .datanode import CopyBlockReq
+from .dircache import DirCache
+from .leader import LeaderElectionService
+from .metadata import BLOCKS_TABLE, INODES_TABLE, IdGenerator
+from .pathlock import normalize_path, split_path
+
+__all__ = ["Namenode"]
+
+
+class Namenode:
+    """One metadata server process."""
+
+    # OpType -> (ops function, path argument used for the partition hint)
+    _OPS = {
+        OpType.MKDIR: ops.mkdir,
+        OpType.MKDIRS: ops.mkdirs,
+        OpType.CREATE_FILE: ops.create_file,
+        OpType.READ_FILE: ops.read_file,
+        OpType.DELETE_FILE: ops.delete,
+        OpType.STAT: ops.stat,
+        OpType.EXISTS: ops.exists,
+        OpType.LIST_DIR: ops.list_dir,
+        OpType.RENAME: ops.rename,
+        OpType.CHMOD: ops.chmod,
+        OpType.SET_REPLICATION: ops.set_replication,
+        OpType.ADD_BLOCK: ops.add_block,
+        OpType.COMPLETE_FILE: ops.complete_file,
+    }
+
+    def __init__(
+        self,
+        env: Environment,
+        network: Network,
+        ndb_cluster,
+        config: HopsFsConfig,
+        addr: NodeAddress,
+        az: AzId,
+        nn_id: int,
+        ids: IdGenerator,
+        placement_policy: PlacementPolicy = PlacementPolicy.AZ_AWARE,
+    ):
+        self.env = env
+        self.network = network
+        self.ndb = ndb_cluster
+        self.config = config
+        self.addr = addr
+        self.az = az
+        self.nn_id = nn_id
+        self.running = False
+        self.mailbox = network.register(addr)
+        self.handler_pool = CorePool(env, config.nn_cores, name=f"{addr}:handlers")
+        self.api = ndb_cluster.api(addr)
+        self.rng = ndb_cluster.rng.stream(f"nn:{addr}")
+        self.block_manager = BlockManager(self, placement_policy)
+        self.election = LeaderElectionService(
+            self, config.election_period_ms, config.election_missed_rounds
+        )
+        # Path-component cache: serves resolution of the read-mostly top of
+        # the hierarchy and the DAT partition-key hints (FAST'17).
+        self.dir_cache = DirCache(now=lambda: env.now)
+        self.ctx = ops.FsContext(
+            ids=ids,
+            now=lambda: env.now,
+            place_block=self.block_manager.place,
+            dir_cache=self.dir_cache,
+        )
+        self.ops_served = 0
+        self.ops_failed = 0
+        self._safemode_forced = False
+
+    # ------------------------------------------------------------------ life
+    def start(self, election: bool = True) -> None:
+        if self.running:
+            return
+        self.running = True
+        self.env.process(self._dispatch(), name=f"{self.addr}:nn")
+        if election:
+            self.election.start()
+            self.env.process(self._dn_monitor(), name=f"{self.addr}:dn-monitor")
+
+    def shutdown(self) -> None:
+        self.running = False
+        self.network.set_down(self.addr)
+
+    @property
+    def is_leader(self) -> bool:
+        return self.election.is_leader
+
+    @property
+    def in_safemode(self) -> bool:
+        """Mutations are rejected while in safemode (reads still served)."""
+        if self._safemode_forced:
+            return True
+        if self.config.safemode_on_startup and self.election.rounds == 0:
+            return True
+        return False
+
+    def enter_safemode(self) -> None:
+        self._safemode_forced = True
+
+    def leave_safemode(self) -> None:
+        self._safemode_forced = False
+
+    # -------------------------------------------------------------- dispatch
+    def _dispatch(self):
+        while True:
+            msg = yield self.mailbox.get()
+            if not self.running:
+                continue
+            if msg.kind == "fs_op":
+                self.env.process(self._fs_op(msg), name=f"{self.addr}:fs_op")
+            elif msg.kind == "get_active_nns":
+                self.network.reply(msg, list(self.election.active), size=256)
+            elif msg.kind == "dn_heartbeat":
+                dn_addr, dn_az, block_ids = msg.payload
+                self.block_manager.on_heartbeat(dn_addr, dn_az, block_ids)
+            elif msg.kind == "block_received":
+                block_id, dn_addr = msg.payload
+                self.block_manager.on_block_received(block_id, dn_addr)
+            else:
+                raise FsError(f"{self.addr}: unknown NN message {msg.kind!r}")
+
+    # --------------------------------------------------------------- fs ops
+    def _fs_op(self, msg: Message):
+        op: OpType
+        op, kwargs = msg.payload
+        yield self.handler_pool.submit(self.config.op_cost(op))
+        if not self.running:
+            return
+        fn = self._OPS.get(op)
+        if fn is None:
+            self.network.reply(msg, FsError(f"unsupported operation {op}"), ok=False)
+            return
+        if op.mutates and self.in_safemode:
+            self.ops_failed += 1
+            self.network.reply(
+                msg, SafeModeError(f"{self.addr} is in safemode; {op.value} rejected"), ok=False
+            )
+            return
+        def body(txn):
+            result = yield from fn(self.ctx, txn, **kwargs)
+            return result
+
+        try:
+            hint_key = self._hint_for(kwargs)
+            result = yield from run_transaction(
+                self.api, body, hint_table=INODES_TABLE, hint_key=hint_key
+            )
+        except FsError as exc:
+            self.ops_failed += 1
+            self.network.reply(msg, exc, ok=False)
+            return
+        except NdbError as exc:
+            self.ops_failed += 1
+            self.network.reply(msg, exc, ok=False)
+            return
+        self.ops_served += 1
+        if op is OpType.ADD_BLOCK:
+            self.block_manager.record_new_block(result.block_id, result.locations)
+            self.block_manager.block_inode[result.block_id] = result.inode_id
+        self.network.reply(msg, result, size=self.config.client_response_bytes)
+
+    def _hint_for(self, kwargs) -> Optional[int]:
+        """DAT hint: the target's parent directory id, from the dir cache.
+
+        The inodes table is partitioned by parent id, so hinting with it
+        starts the transaction on the NDB node holding the target's
+        partition.  A cold cache means no hint (selection case 4).
+        """
+        path = kwargs.get("path") or kwargs.get("src")
+        if not path:
+            return None
+        components = split_path(normalize_path(path))[:-1]
+        parent_id = 1
+        for name in components:
+            row = self.dir_cache.get(parent_id, name)
+            if row is None:
+                return None
+            parent_id = row.id
+        return parent_id
+
+    # ----------------------------------------------------- block re-replication
+    def _dn_monitor(self):
+        """Leader-only: declare silent DNs dead and restore replication."""
+        interval = self.config.dn_heartbeat_interval_ms
+        deadline = interval * self.config.dn_missed_heartbeats
+        while self.running:
+            yield self.env.timeout(interval)
+            if not self.running or not self.is_leader:
+                continue
+            for dead in self.block_manager.check_expired(deadline):
+                self.env.process(
+                    self._rereplicate_from(dead), name=f"{self.addr}:rereplicate"
+                )
+
+    def _rereplicate_from(self, dead: NodeAddress):
+        for block_id, survivors in self.block_manager.under_replicated_on(dead):
+            if not survivors:
+                continue  # data lost; nothing to copy from
+            live = self.block_manager.live_dns()
+            exclude = set(survivors) | {dead}
+            candidates = [dn for dn in sorted(live) if dn not in exclude]
+            if not candidates:
+                continue
+            source = sorted(survivors)[0]
+            target = self.rng.choice(candidates)
+            try:
+                yield self.network.call(
+                    self.addr,
+                    source,
+                    "copy_block",
+                    CopyBlockReq(block_id=block_id, target=target),
+                    size=128,
+                )
+            except (HostUnreachableError, FsError):
+                continue
+            self.block_manager.on_block_received(block_id, target)
+            self.block_manager.rereplications += 1
+            yield from self._update_block_locations(block_id, dead, target)
+
+    def _update_block_locations(self, block_id: int, dead: NodeAddress, new: NodeAddress):
+        """Rewrite the block row so readers see the new replica set."""
+
+        inode_id = self.block_manager.block_inode.get(block_id)
+        if inode_id is None:
+            # This NN never saw the block's metadata (it did not serve the
+            # addBlock); the in-memory map is already correct and the row
+            # will be reconciled by the next full block report.
+            return
+
+        def body(txn):
+            row = yield from txn.read(BLOCKS_TABLE, block_id, partition_key=inode_id)
+            if row is not None:
+                new_locations = tuple(sorted(set(row.locations) - {dead})) + (new,)
+                yield from txn.write(
+                    BLOCKS_TABLE,
+                    block_id,
+                    row.with_(locations=new_locations),
+                    partition_key=inode_id,
+                )
+            return row
+
+        try:
+            yield from run_transaction(self.api, body)
+        except (TransactionAbortedError, FsError):
+            pass

@@ -1,0 +1,14 @@
+"""Metrics: collection, utilization reports, and figure tables."""
+
+from .collectors import MetricsCollector, percentile
+from .report import Table, comparison_line, format_value
+from .utilization import ResourceReport
+
+__all__ = [
+    "MetricsCollector",
+    "percentile",
+    "Table",
+    "comparison_line",
+    "format_value",
+    "ResourceReport",
+]

@@ -1,0 +1,99 @@
+"""Throughput and latency collection for benchmark runs."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..types import OpResult, OpType
+
+__all__ = ["percentile", "MetricsCollector"]
+
+
+def percentile(sorted_values: list[float], p: float) -> float:
+    """Nearest-rank-interpolated percentile; ``p`` in [0, 100]."""
+    if not sorted_values:
+        return 0.0
+    if len(sorted_values) == 1:
+        return sorted_values[0]
+    rank = (p / 100.0) * (len(sorted_values) - 1)
+    low = int(rank)
+    high = min(low + 1, len(sorted_values) - 1)
+    frac = rank - low
+    value = sorted_values[low] * (1 - frac) + sorted_values[high] * frac
+    # Clamp: float interpolation may escape the bounds by an ulp.
+    return min(max(value, sorted_values[0]), sorted_values[-1])
+
+
+@dataclass
+class MetricsCollector:
+    """Records operation results inside a measurement window.
+
+    The driver calls :meth:`record` for every completed op; only ops that
+    *finish* inside ``[window_start, window_end]`` count (set the window
+    with :meth:`open_window` / :meth:`close_window`).
+    """
+
+    window_start: Optional[float] = None
+    window_end: Optional[float] = None
+    completed: int = 0
+    failed: int = 0
+    retried: int = 0
+    latencies_ms: list[float] = field(default_factory=list)
+    by_op: dict[OpType, int] = field(default_factory=lambda: defaultdict(int))
+    latencies_by_op: dict[OpType, list[float]] = field(
+        default_factory=lambda: defaultdict(list)
+    )
+
+    def open_window(self, now: float) -> None:
+        self.window_start = now
+
+    def close_window(self, now: float) -> None:
+        self.window_end = now
+
+    def _in_window(self, t: float) -> bool:
+        if self.window_start is None:
+            return False  # measurement has not started (warmup)
+        if t < self.window_start:
+            return False
+        if self.window_end is not None and t > self.window_end:
+            return False
+        return True
+
+    def record(self, result: OpResult) -> None:
+        if not self._in_window(result.end_ms):
+            return
+        if not result.ok:
+            self.failed += 1
+            return
+        self.completed += 1
+        self.retried += result.retries
+        self.by_op[result.op] += 1
+        self.latencies_ms.append(result.latency_ms)
+        self.latencies_by_op[result.op].append(result.latency_ms)
+
+    # -- derived ----------------------------------------------------------
+    @property
+    def window_ms(self) -> float:
+        if self.window_start is None or self.window_end is None:
+            return 0.0
+        return self.window_end - self.window_start
+
+    def throughput_ops_per_sec(self) -> float:
+        window = self.window_ms
+        return self.completed / window * 1000.0 if window > 0 else 0.0
+
+    def avg_latency_ms(self) -> float:
+        if not self.latencies_ms:
+            return 0.0
+        return sum(self.latencies_ms) / len(self.latencies_ms)
+
+    def latency_percentiles(self, ps=(50, 90, 99), op: Optional[OpType] = None):
+        values = self.latencies_by_op[op] if op is not None else self.latencies_ms
+        values = sorted(values)
+        return {p: percentile(values, p) for p in ps}
+
+    def failure_rate(self) -> float:
+        total = self.completed + self.failed
+        return self.failed / total if total else 0.0

@@ -1,0 +1,47 @@
+"""Resource-utilization reports (Figures 10-13)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["ResourceReport"]
+
+
+@dataclass
+class ResourceReport:
+    """Averages over one measurement window.
+
+    *storage* nodes are NDB datanodes (HopsFS) or OSDs (CephFS);
+    *server* nodes are namenodes (HopsFS) or MDSs (CephFS).
+    CPU is percent of the host's cores; network/disk are MB/s per node.
+    """
+
+    window_ms: float = 0.0
+    storage_cpu_pct: float = 0.0
+    server_cpu_pct: float = 0.0
+    storage_net_read_mb_s: float = 0.0
+    storage_net_write_mb_s: float = 0.0
+    server_net_read_mb_s: float = 0.0
+    server_net_write_mb_s: float = 0.0
+    storage_disk_read_mb_s: float = 0.0
+    storage_disk_write_mb_s: float = 0.0
+    server_disk_write_mb_s: float = 0.0
+    # HopsFS only: NDB per-thread-type CPU percent (Figure 11).
+    ndb_thread_cpu_pct: dict[str, float] = field(default_factory=dict)
+    cross_az_mb: float = 0.0
+    intra_az_mb: float = 0.0
+
+    def as_rows(self) -> list[tuple[str, float]]:
+        rows = [
+            ("storage CPU %", self.storage_cpu_pct),
+            ("server CPU %", self.server_cpu_pct),
+            ("storage net read MB/s", self.storage_net_read_mb_s),
+            ("storage net write MB/s", self.storage_net_write_mb_s),
+            ("server net read MB/s", self.server_net_read_mb_s),
+            ("server net write MB/s", self.server_net_write_mb_s),
+            ("storage disk read MB/s", self.storage_disk_read_mb_s),
+            ("storage disk write MB/s", self.storage_disk_write_mb_s),
+            ("cross-AZ MB", self.cross_az_mb),
+            ("intra-AZ MB", self.intra_az_mb),
+        ]
+        return rows

@@ -1,0 +1,44 @@
+"""The metadata storage layer: an NDB (MySQL Cluster) model.
+
+Implements the paper's Section II-B substrate and the Section IV-A
+AZ-awareness features: node groups, ADP partitioning, strict-2PL row
+locks, the linear-2PC commit protocol of Figure 2, Read Backup and Fully
+Replicated table options with the delayed-ACK commit variant, AZ-aware
+proximity ordering, the 4-case TC selection policy, heartbeat failure
+detection, and split-brain arbitration.
+"""
+
+from .client import NdbApi, NdbTransaction, run_transaction
+from .cluster import NdbCluster, az_assignment_for
+from .config import TABLE2_THREADS, NdbConfig, NdbCosts, ThreadConfig
+from .locks import LockTable
+from .management import ManagementNode
+from .partitioning import PartitionMap, ReplicaSet, stable_hash
+from .schema import TOMBSTONE, LockMode, Schema, TableDef
+from .store import FragmentStore, ReadStats
+from .tc_selection import select_read_replica, select_tc
+
+__all__ = [
+    "NdbApi",
+    "NdbTransaction",
+    "run_transaction",
+    "NdbCluster",
+    "az_assignment_for",
+    "TABLE2_THREADS",
+    "NdbConfig",
+    "NdbCosts",
+    "ThreadConfig",
+    "LockTable",
+    "ManagementNode",
+    "PartitionMap",
+    "ReplicaSet",
+    "stable_hash",
+    "TOMBSTONE",
+    "LockMode",
+    "Schema",
+    "TableDef",
+    "FragmentStore",
+    "ReadStats",
+    "select_read_replica",
+    "select_tc",
+]

@@ -1,0 +1,194 @@
+"""Client-side NDB API: sessions, transactions and the retry loop.
+
+The API mirrors what HopsFS uses from ClusterJ/the NDB API: begin a
+transaction with a partition-key *hint* (distribution-aware transactions),
+primary-key reads at a chosen lock level, partition-pruned index scans,
+writes, and commit/abort.  Transient failures surface as
+:class:`TransactionAbortedError` with ``retryable=True``; HopsFS wraps
+operations in :func:`run_transaction` which retries with backoff,
+providing backpressure to NDB (Section II-B2).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Hashable, Optional
+
+from ..errors import HostUnreachableError, NdbError, TransactionAbortedError
+from ..types import AzId, NodeAddress
+from .messages import TcAbortReq, TcCommitReq, TcReadReq, TcScanReq, TcWriteReq
+from .schema import TOMBSTONE, LockMode
+from .tc_selection import select_tc
+
+__all__ = ["NdbApi", "NdbTransaction", "run_transaction"]
+
+
+class NdbApi:
+    """A per-host handle to the NDB cluster (one per metadata server)."""
+
+    def __init__(self, cluster, addr: NodeAddress):
+        self.cluster = cluster
+        self.addr = addr
+        self.az: AzId = cluster.network.topology.az_of(addr)
+        self._rng = cluster.rng.stream(f"ndbapi:{addr}")
+
+    def transaction(
+        self,
+        hint_table: Optional[str] = None,
+        hint_key: Optional[Hashable] = None,
+    ) -> "NdbTransaction":
+        """Open a transaction; the TC is chosen now, from the hint."""
+        table = self.cluster.schema.get(hint_table) if hint_table else None
+        tc = select_tc(
+            self.cluster.network.topology,
+            self.cluster.partition_map,
+            table,
+            hint_key,
+            self.addr,
+            self.cluster.config.az_aware,
+            self._rng,
+        )
+        return NdbTransaction(self, tc)
+
+
+class NdbTransaction:
+    """One open transaction, pinned to a transaction coordinator."""
+
+    def __init__(self, api: NdbApi, tc: NodeAddress):
+        self.api = api
+        self.tc = tc
+        self.txid = api.cluster.next_txid()
+        self.finished = False
+        self.mutated = False
+
+    # -- plumbing ---------------------------------------------------------
+    def _call(self, kind: str, payload: Any, size: int = 192):
+        if self.finished:
+            raise NdbError(f"transaction {self.txid} already finished")
+        network = self.api.cluster.network
+        try:
+            result = yield network.call(self.api.addr, self.tc, kind, payload, size=size)
+        except HostUnreachableError as exc:
+            # The TC died (or we got partitioned from it).  NDB's take-over
+            # protocol rebuilds/aborts the transaction on another TC; from
+            # the client's perspective the transaction aborted, retryable.
+            self.finished = True
+            raise TransactionAbortedError(f"TC {self.tc} unreachable: {exc}") from exc
+        return result
+
+    # -- operations -----------------------------------------------------------
+    def read(
+        self,
+        table: str,
+        pk: Hashable,
+        partition_key: Optional[Hashable] = None,
+        lock: LockMode = LockMode.NONE,
+    ):
+        """Primary-key read.  ``lock`` NONE = read committed."""
+        req = TcReadReq(
+            txid=self.txid,
+            table=table,
+            pk=pk,
+            partition_key=pk if partition_key is None else partition_key,
+            lock=lock,
+            client_az=self.api.az,
+        )
+        value = yield from self._call("tc_read", req)
+        return value
+
+    def scan(self, table: str, partition_key: Hashable):
+        """Partition-pruned index scan: all rows with ``partition_key``."""
+        req = TcScanReq(
+            txid=self.txid,
+            table=table,
+            partition_key=partition_key,
+            client_az=self.api.az,
+        )
+        rows = yield from self._call("tc_scan", req)
+        return rows
+
+    def write(
+        self,
+        table: str,
+        pk: Hashable,
+        value: Any,
+        partition_key: Optional[Hashable] = None,
+        size_hint: Optional[int] = None,
+    ):
+        """Insert or update a row (prepared on all replicas before return).
+
+        ``size_hint`` sizes the wire message — used for small files whose
+        payload travels inside the metadata row (Section II-A3).
+        """
+        req = TcWriteReq(
+            txid=self.txid,
+            table=table,
+            pk=pk,
+            partition_key=pk if partition_key is None else partition_key,
+            value=value,
+            client_az=self.api.az,
+        )
+        self.mutated = True
+        yield from self._call("tc_write", req, size=max(128, size_hint or 256))
+
+    def delete(self, table: str, pk: Hashable, partition_key: Optional[Hashable] = None):
+        req = TcWriteReq(
+            txid=self.txid,
+            table=table,
+            pk=pk,
+            partition_key=pk if partition_key is None else partition_key,
+            value=TOMBSTONE,
+            client_az=self.api.az,
+        )
+        self.mutated = True
+        yield from self._call("tc_write", req, size=128)
+
+    def commit(self):
+        yield from self._call("tc_commit", TcCommitReq(txid=self.txid), size=96)
+        self.finished = True
+
+    def abort(self):
+        if self.finished:
+            return
+        try:
+            yield from self._call("tc_abort", TcAbortReq(txid=self.txid), size=96)
+        except TransactionAbortedError:
+            pass  # TC already gone; the take-over/failure path cleans up
+        self.finished = True
+
+
+def run_transaction(
+    api: NdbApi,
+    body: Callable[[NdbTransaction], Any],
+    hint_table: Optional[str] = None,
+    hint_key: Optional[Hashable] = None,
+    max_retries: int = 12,
+    base_backoff_ms: float = 2.0,
+    max_backoff_ms: float = 200.0,
+):
+    """Run ``body(txn)`` (a generator function) with commit and retries.
+
+    This is HopsFS's transaction retry mechanism: aborted transactions are
+    retried with exponential backoff, which provides backpressure to NDB.
+    Non-retryable errors (application errors) abort and propagate.
+    """
+    env = api.cluster.env
+    rng = api.cluster.rng.stream(f"txnretry:{api.addr}")
+    attempt = 0
+    while True:
+        txn = api.transaction(hint_table=hint_table, hint_key=hint_key)
+        try:
+            result = yield from body(txn)
+            yield from txn.commit()
+            return result
+        except TransactionAbortedError as exc:
+            yield from txn.abort()
+            if not exc.retryable or attempt >= max_retries:
+                raise
+            attempt += 1
+            backoff = min(max_backoff_ms, base_backoff_ms * (2 ** (attempt - 1)))
+            yield env.timeout(backoff * (0.5 + rng.random()))
+        except GeneratorExit:
+            raise  # closing a simulation generator must not yield again
+        except BaseException:
+            yield from txn.abort()
+            raise

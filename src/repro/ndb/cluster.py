@@ -1,0 +1,332 @@
+"""NDB cluster assembly: datanodes, management nodes, placement and failures.
+
+Deployment layouts follow Figures 3 and 4 of the paper: replica *blocks*
+are assigned AZ by AZ so that the members of every node group land in
+different AZs (N1/N3/N5 one group, N2/N4/N6 another), management nodes run
+one per AZ, and the first management node acts as arbitrator.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Hashable, Iterable, Optional, Sequence
+
+from ..errors import ConfigError
+from ..net.network import Network
+from ..sim import Environment, RngRegistry
+from ..types import AzId, NodeAddress, NodeKind
+from .client import NdbApi
+from .config import NdbConfig
+from .datanode import NdbDatanode
+from .failure import HeartbeatProtocol
+from .management import ManagementNode
+from .partitioning import PartitionMap
+from .schema import Schema
+from .store import ReadStats
+
+__all__ = ["NdbCluster", "az_assignment_for"]
+
+
+def az_assignment_for(num_datanodes: int, replication: int, azs: Sequence[AzId]) -> list[AzId]:
+    """AZ per datanode such that node-group members span different AZs.
+
+    Node groups are formed round-robin (``datanodes[g::num_groups]``), so
+    assigning whole replica blocks to AZs guarantees each group has at most
+    one member per AZ when ``len(azs) >= replication``.
+    """
+    if not azs:
+        raise ConfigError("need at least one AZ")
+    num_groups = num_datanodes // replication
+    assignment = []
+    for index in range(num_datanodes):
+        block = index // num_groups  # which replica block this node is in
+        assignment.append(azs[block % len(azs)])
+    return assignment
+
+
+class NdbCluster:
+    """A running NDB cluster inside one simulation environment."""
+
+    def __init__(
+        self,
+        env: Environment,
+        network: Network,
+        config: NdbConfig,
+        schema: Schema,
+        datanode_azs: Sequence[AzId],
+        mgmt_azs: Sequence[AzId] = (1,),
+        rng: Optional[RngRegistry] = None,
+    ):
+        if len(datanode_azs) != config.num_datanodes:
+            raise ConfigError(
+                f"az assignment has {len(datanode_azs)} entries for "
+                f"{config.num_datanodes} datanodes"
+            )
+        self.env = env
+        self.network = network
+        self.config = config
+        self.schema = schema
+        self.rng = rng or RngRegistry()
+        self.read_stats = ReadStats()
+        self._txids = itertools.count(1)
+        self._txn_tc: dict[int, NodeAddress] = {}
+        self.started = False
+
+        self.datanodes: dict[NodeAddress, NdbDatanode] = {}
+        for i, az in enumerate(datanode_azs, start=1):
+            addr = NodeAddress(NodeKind.NDB_DATANODE, i)
+            network.topology.add_host(addr, az=az, cores=32)
+            self.datanodes[addr] = NdbDatanode(env, network, self, addr, az)
+
+        self.partition_map = PartitionMap(
+            list(self.datanodes.keys()), config.replication, config.num_partitions
+        )
+
+        self.mgmt_nodes: list[ManagementNode] = []
+        for i, az in enumerate(mgmt_azs, start=1):
+            addr = NodeAddress(NodeKind.NDB_MGMT, i)
+            network.topology.add_host(addr, az=az, cores=2)
+            self.mgmt_nodes.append(ManagementNode(env, network, addr, az))
+
+        self.heartbeats = HeartbeatProtocol(self)
+        self._heartbeats_started = False
+
+    # ------------------------------------------------------------------ life
+    def start(self, heartbeats: bool = True) -> None:
+        if self.started:
+            return
+        self.started = True
+        for dn in self.datanodes.values():
+            dn.start()
+            self.env.process(self._checkpoint_loop(dn), name=f"{dn.addr}:gcp")
+        for mgmt in self.mgmt_nodes:
+            mgmt.start()
+        if heartbeats:
+            self.heartbeats.start()
+            self._heartbeats_started = True
+
+    def _checkpoint_loop(self, dn: NdbDatanode):
+        """Global checkpoint: periodic redo/checkpoint flush to disk."""
+        interval = self.config.global_checkpoint_interval_ms
+        while dn.running:
+            yield self.env.timeout(interval)
+            if not dn.running:
+                return
+            dn.io_pool.submit(self.config.costs.send_msg)
+            dn.disk.write(self.config.checkpoint_bytes)
+
+    def is_operational(self) -> bool:
+        return self.partition_map.cluster_viable() and any(
+            dn.running for dn in self.datanodes.values()
+        )
+
+    # --------------------------------------------------------------- sessions
+    def api(self, addr: NodeAddress) -> NdbApi:
+        return NdbApi(self, addr)
+
+    def next_txid(self) -> int:
+        return next(self._txids)
+
+    def register_txn(self, txid: int, tc: NodeAddress) -> None:
+        self._txn_tc[txid] = tc
+
+    def unregister_txn(self, txid: int) -> None:
+        self._txn_tc.pop(txid, None)
+
+    @property
+    def active_transactions(self) -> int:
+        return len(self._txn_tc)
+
+    # ---------------------------------------------------------------- preload
+    def preload(self, table_name: str, rows: Iterable[tuple[Hashable, Hashable, object]]) -> int:
+        """Bulk-load committed rows, bypassing the commit protocol.
+
+        ``rows`` yields ``(pk, partition_key, value)``.  Used to install the
+        benchmark namespace before measurements start.
+        """
+        table = self.schema.table(table_name)
+        count = 0
+        for pk, partition_key, value in rows:
+            partition = self.partition_map.partition_of(partition_key)
+            replicas = self.partition_map.replicas(partition, table.fully_replicated)
+            for node in replicas.all:
+                self.datanodes[node].store.load(table_name, pk, partition_key, value)
+            count += 1
+        return count
+
+    # ---------------------------------------------------------------- failures
+    def arbitrator(self) -> Optional[ManagementNode]:
+        for mgmt in self.mgmt_nodes:
+            if mgmt.running and self.network.is_up(mgmt.addr):
+                return mgmt
+        return None
+
+    def crash_datanode(self, addr: NodeAddress, detect_now: bool = False) -> None:
+        """Kill a datanode.  Detection normally comes from heartbeats."""
+        dn = self.datanodes[addr]
+        dn.shutdown("crashed")
+        if detect_now:
+            self.on_node_failed(addr)
+
+    def on_node_failed(self, dead: NodeAddress) -> None:
+        """The cluster-wide node failure protocol (Section IV-A2).
+
+        Survivors in the dead node's group promote their backup fragments
+        (via :class:`PartitionMap`), pending chain operations through the
+        dead node abort, and transactions whose TC died are rolled back on
+        the survivors — the observable effect of NDB's take-over protocol.
+        """
+        if not self.partition_map.is_up(dead):
+            return
+        self.partition_map.mark_down(dead)
+        self.datanodes[dead].shutdown("declared failed")
+        if not self.partition_map.cluster_viable():
+            self.shutdown_component(
+                {dn.addr for dn in self.datanodes.values() if dn.running},
+                "a whole node group failed: metadata lost",
+            )
+            return
+        for dn in self.datanodes.values():
+            if dn.running:
+                dn.on_peer_failed(dead)
+        orphaned = [txid for txid, tc in self._txn_tc.items() if tc == dead]
+        for txid in orphaned:
+            for dn in self.datanodes.values():
+                if dn.running:
+                    dn.abort_orphaned(txid)
+            self.unregister_txn(txid)
+
+    def restart_datanode(self, addr: NodeAddress):
+        """Node recovery: rejoin a failed datanode (generator).
+
+        Mirrors NDB's node-recovery phases: the starting node comes back
+        up, copies its fragments from the live members of its node group
+        (time proportional to the data volume), and only then rejoins the
+        partition map so it can serve replicas again.
+        """
+        dn = self.datanodes[addr]
+        if dn.running:
+            return
+        self.network.set_up(addr)
+        dn.running = True
+        dn.shutdown_reason = None
+        # All volatile state died with the process.
+        dn.store = type(dn.store)()  # fresh fragment store
+        dn.locks = type(dn.locks)(self.env, self.config.deadlock_timeout_ms)
+        for txid in list(dn.txns):
+            self.unregister_txn(txid)
+        dn.txns.clear()
+        dn.last_heartbeat_from.clear()
+        self.env.process(dn._dispatch_loop(), name=f"{addr}:dispatch")
+        self.env.process(self._checkpoint_loop(dn), name=f"{addr}:gcp")
+        if self._heartbeats_started:
+            self.env.process(self.heartbeats._sender(dn), name=f"{addr}:hb-send")
+            self.env.process(self.heartbeats._checker(dn), name=f"{addr}:hb-check")
+
+        # Copy fragments from a live peer in each owned node group.
+        copied_rows = 0
+        group_index = next(
+            g for g, group in enumerate(self.partition_map.node_groups) if addr in group
+        )
+        donors = [
+            m
+            for m in self.partition_map.node_groups[group_index]
+            if m != addr and self.partition_map.is_up(m)
+        ]
+        if donors:
+            donor_store = self.datanodes[donors[0]].store
+            for table in self.schema.tables():
+                for pk, value in list(donor_store.iter_rows(table.name)):
+                    row = donor_store._rows.get((table.name, pk))
+                    if row is None:
+                        continue
+                    dn.store.load(table.name, pk, row.partition_key, value)
+                    copied_rows += 1
+        # Recovery time: fragment copy over the network (modelled in bulk).
+        copy_ms = copied_rows * self.config.costs.ldm_read
+        if copy_ms:
+            yield self.env.timeout(copy_ms)
+        else:
+            yield self.env.timeout(0)
+        self.partition_map.mark_up(addr)
+        # Transactions already in flight computed their replica chains while
+        # this node was down; their commits land only on the old replicas.
+        # NDB's synchronization phase covers that tail — modelled as a
+        # reconciliation sweep once every straddling transaction has ended.
+        self.env.process(self._reconcile(addr), name=f"{addr}:recovery-sync")
+        return copied_rows
+
+    def _reconcile(self, addr: NodeAddress):
+        """Copy any rows that in-flight transactions changed during rejoin."""
+        horizon = self.config.deadlock_timeout_ms + 10 * self.config.heartbeat_interval_ms
+        yield self.env.timeout(horizon)
+        dn = self.datanodes[addr]
+        if not dn.running or not self.partition_map.is_up(addr):
+            return
+        group_index = next(
+            g for g, group in enumerate(self.partition_map.node_groups) if addr in group
+        )
+        donors = [
+            m
+            for m in self.partition_map.node_groups[group_index]
+            if m != addr and self.partition_map.is_up(m) and self.datanodes[m].running
+        ]
+        if not donors:
+            return
+        donor_store = self.datanodes[donors[0]].store
+        for table in self.schema.tables():
+            donor_rows = dict(donor_store.iter_rows(table.name))
+            local_rows = dict(dn.store.iter_rows(table.name))
+            for pk, value in donor_rows.items():
+                if local_rows.get(pk) != value:
+                    row = donor_store._rows.get((table.name, pk))
+                    if row is not None:
+                        dn.store.load(table.name, pk, row.partition_key, value)
+            from .schema import TOMBSTONE
+
+            for pk in local_rows:
+                if pk not in donor_rows:
+                    row = dn.store._rows.get((table.name, pk))
+                    if row is not None:
+                        dn.store.load(table.name, pk, row.partition_key, TOMBSTONE)
+
+    def shutdown_component(self, addrs: set[NodeAddress], reason: str) -> None:
+        for addr in addrs:
+            dn = self.datanodes.get(addr)
+            if dn is not None and dn.running:
+                dn.shutdown(reason)
+            if self.partition_map.is_up(addr):
+                self.partition_map.mark_down(addr)
+
+    def heal(self) -> None:
+        """Heal partitions and reset arbitration epochs (not node restarts)."""
+        self.network.heal_partitions()
+        for mgmt in self.mgmt_nodes:
+            mgmt.reset_arbitration()
+
+    # ------------------------------------------------------------------ stats
+    def thread_busy(self) -> dict[str, tuple[float, int]]:
+        """Aggregate (busy_ms, cores) per NDB thread type, for Figure 11."""
+        totals: dict[str, tuple[float, int]] = {}
+
+        def add(name: str, busy: float, cores: int) -> None:
+            b, c = totals.get(name, (0.0, 0))
+            totals[name] = (b + busy, c + cores)
+
+        for dn in self.datanodes.values():
+            for pool in dn.ldm_pools:
+                add("ldm", pool.busy_time, pool.cores)
+            add("tc", dn.tc_pool.busy_time, dn.tc_pool.cores)
+            add("recv", dn.recv_pool.busy_time, dn.recv_pool.cores)
+            add("send", dn.send_pool.busy_time, dn.send_pool.cores)
+            add("rep", dn.rep_pool.busy_time, dn.rep_pool.cores)
+            add("io", dn.io_pool.busy_time, dn.io_pool.cores)
+            add("main", dn.main_pool.busy_time, dn.main_pool.cores)
+        return totals
+
+    def disk_stats(self) -> dict[NodeAddress, tuple[int, int]]:
+        """(bytes_read, bytes_written) per datanode disk."""
+        return {
+            dn.addr: (dn.disk.bytes_read, dn.disk.bytes_written)
+            for dn in self.datanodes.values()
+        }

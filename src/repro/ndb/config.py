@@ -1,0 +1,116 @@
+"""NDB cluster configuration, thread layout (Table II) and service costs.
+
+The thread configuration reproduces Table II of the paper: each NDB
+datanode pins 27 threads — 12 LDM (data shards), 7 TC (transaction
+coordination), 3 RECV, 2 SEND, 1 REP, 1 IO, 1 MAIN.
+
+Service costs are the per-message CPU times of the simulation's performance
+model.  They were calibrated so that a 12-datanode cluster saturates at the
+paper's observed ~1.6M file-system ops/s (Fig. 5); see EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ConfigError
+
+__all__ = ["ThreadConfig", "NdbCosts", "NdbConfig", "TABLE2_THREADS"]
+
+# Table II: thread type -> count.
+TABLE2_THREADS: dict[str, int] = {
+    "ldm": 12,
+    "tc": 7,
+    "recv": 3,
+    "send": 2,
+    "rep": 1,
+    "io": 1,
+    "main": 1,
+}
+
+
+@dataclass(frozen=True)
+class ThreadConfig:
+    """Per-datanode CPU thread counts (defaults = Table II, 27 threads)."""
+
+    ldm: int = 12
+    tc: int = 7
+    recv: int = 3
+    send: int = 2
+    rep: int = 1
+    io: int = 1
+    main: int = 1
+
+    @property
+    def total(self) -> int:
+        return self.ldm + self.tc + self.recv + self.send + self.rep + self.io + self.main
+
+    def counts(self) -> dict[str, int]:
+        return {
+            "ldm": self.ldm,
+            "tc": self.tc,
+            "recv": self.recv,
+            "send": self.send,
+            "rep": self.rep,
+            "io": self.io,
+            "main": self.main,
+        }
+
+
+@dataclass(frozen=True)
+class NdbCosts:
+    """Per-event CPU service times in milliseconds.
+
+    Calibrated against the paper's absolute numbers; the *relative* results
+    are insensitive to moderate changes in these values because every setup
+    shares them.
+    """
+
+    recv_msg: float = 0.0008  # RECV thread work per inbound message
+    send_msg: float = 0.0006  # SEND thread work per outbound message
+    tc_step: float = 0.0045  # TC thread work per protocol step
+    ldm_read: float = 0.044  # LDM read (committed or locked)
+    ldm_prepare: float = 0.055  # LDM prepare (lock + buffer redo)
+    ldm_commit: float = 0.022  # LDM apply on commit/complete
+    ldm_scan_base: float = 0.044  # partition-pruned index scan, fixed part
+    ldm_scan_row: float = 0.0055  # per row returned by a scan
+    redo_bytes_per_write: int = 512  # redo-log bytes per committed row
+
+
+@dataclass(frozen=True)
+class NdbConfig:
+    """Deployment-level NDB configuration."""
+
+    num_datanodes: int = 12
+    replication: int = 2  # NoOfReplicas
+    # Partitions per table; NDB uses #LDM-threads x #node-groups fragments,
+    # 144 keeps every LDM thread of every node loaded for R in {2, 3}.
+    num_partitions: int = 288
+    threads: ThreadConfig = field(default_factory=ThreadConfig)
+    costs: NdbCosts = field(default_factory=NdbCosts)
+    # Timeouts (ms).  NDB defaults are 1200ms both; kept low enough that
+    # failure tests converge quickly but high enough not to fire in steady
+    # state.
+    deadlock_timeout_ms: float = 1200.0
+    inactive_timeout_ms: float = 5000.0
+    heartbeat_interval_ms: float = 100.0
+    heartbeat_misses_for_failure: int = 3
+    global_checkpoint_interval_ms: float = 2000.0
+    checkpoint_bytes: int = 256 * 1024
+    disk_bandwidth_bytes_per_ms: float = 200_000.0  # ~200 MB/s
+    az_aware: bool = False  # HopsFS-CL: LocationDomainId honoured
+
+    def __post_init__(self) -> None:
+        if self.replication < 1:
+            raise ConfigError("replication must be >= 1")
+        if self.num_datanodes % self.replication != 0:
+            raise ConfigError(
+                f"{self.num_datanodes} datanodes not divisible by replication "
+                f"{self.replication} (NDB requires N % R == 0)"
+            )
+        if self.num_partitions < 1:
+            raise ConfigError("need at least one partition")
+
+    @property
+    def num_node_groups(self) -> int:
+        return self.num_datanodes // self.replication

@@ -1,0 +1,729 @@
+"""The NDB datanode: Table II thread pools, LDM execution and the TC.
+
+One :class:`NdbDatanode` hosts:
+
+* the **LDM threads** (12 by default) owning this node's fragment replicas,
+  with partitions statically mapped to LDM threads;
+* the **TC threads** (7) coordinating transactions started here, running
+  the linear-2PC commit protocol of Figure 2 — including the paper's
+  delayed-ACK variant for Read Backup / Fully Replicated tables, where the
+  client ACK waits for the Completed messages (message 14 instead of 10);
+* RECV/SEND/REP/IO/MAIN threads for message handling, replication (redo
+  shipping) and disk I/O, matching the paper's CPU accounting (Fig. 11).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Hashable, Optional
+
+from ..errors import (
+    HostUnreachableError,
+    NdbError,
+    NoDatanodesError,
+    NodeFailedError,
+    TransactionAbortedError,
+)
+from ..net.network import Message, Network
+from ..sim import Environment, Event
+from ..types import AzId, NodeAddress
+from .locks import LockTable
+from .messages import (
+    ChainCommit,
+    ChainPrepare,
+    CommittedMsg,
+    CompletedMsg,
+    CompleteMsg,
+    HeartbeatMsg,
+    LdmReadReq,
+    LdmScanReq,
+    PrepareFailedMsg,
+    PreparedMsg,
+    ReleaseLocksMsg,
+    TcAbortReq,
+    TcCommitReq,
+    TcReadReq,
+    TcScanReq,
+    TcWriteReq,
+)
+from .schema import LockMode
+from .store import FragmentStore
+from .tc_selection import select_read_replica
+from ..sim.resources import CorePool, Disk
+
+__all__ = ["NdbDatanode"]
+
+_CHAIN_OVERHEAD_BYTES = 96
+
+
+@dataclass
+class _RowOp:
+    """TC-side state of one row write inside a transaction."""
+
+    seq: int
+    table: str
+    pk: Hashable
+    partition_key: Hashable
+    partition: int
+    value: Any
+    chain: tuple[NodeAddress, ...]
+    want_completed: bool
+    prepared: Optional[Event] = None
+    committed: Optional[Event] = None
+    completed_pending: int = 0
+    all_completed: Optional[Event] = None
+
+
+@dataclass
+class _TcTxn:
+    """TC-side state of one open transaction."""
+
+    txid: int
+    client_az: AzId
+    ops: dict[int, _RowOp] = field(default_factory=dict)
+    # Nodes where LDM threads hold read locks on our behalf -> row keys.
+    read_locks: dict[NodeAddress, set] = field(default_factory=dict)
+    next_seq: int = 0
+    finished: bool = False
+    last_active_ms: float = 0.0
+
+
+class NdbDatanode:
+    """One NDB datanode process."""
+
+    def __init__(self, env: Environment, network: Network, cluster, addr: NodeAddress, az: AzId):
+        self.env = env
+        self.network = network
+        self.cluster = cluster
+        self.addr = addr
+        self.az = az
+        config = cluster.config
+        costs = config.costs
+        threads = config.threads
+        self.costs = costs
+        self.running = False
+        self.shutdown_reason: Optional[str] = None
+
+        self.mailbox = network.register(addr)
+        self.store = FragmentStore()
+        self.locks = LockTable(env, deadlock_timeout_ms=config.deadlock_timeout_ms)
+
+        # Table II thread pools.  LDM threads are individual single-core
+        # pools because partitions are pinned to specific LDM threads.
+        self.ldm_pools = [
+            CorePool(env, 1, name=f"{addr}:ldm{i}") for i in range(threads.ldm)
+        ]
+        self.tc_pool = CorePool(env, threads.tc, name=f"{addr}:tc")
+        self.recv_pool = CorePool(env, threads.recv, name=f"{addr}:recv")
+        self.send_pool = CorePool(env, threads.send, name=f"{addr}:send")
+        self.rep_pool = CorePool(env, threads.rep, name=f"{addr}:rep")
+        self.io_pool = CorePool(env, threads.io, name=f"{addr}:io")
+        self.main_pool = CorePool(env, threads.main, name=f"{addr}:main")
+        self.disk = Disk(env, config.disk_bandwidth_bytes_per_ms, name=f"{addr}:disk")
+
+        self.txns: dict[int, _TcTxn] = {}
+        self.last_heartbeat_from: dict[NodeAddress, float] = {}
+        self._rng = cluster.rng.stream(f"ndbd:{addr}")
+
+    # ------------------------------------------------------------------ setup
+    def start(self) -> None:
+        if self.running:
+            return
+        self.running = True
+        self.env.process(self._dispatch_loop(), name=f"{self.addr}:dispatch")
+        self.env.process(self._inactivity_reaper(), name=f"{self.addr}:txn-reaper")
+
+    def shutdown(self, reason: str) -> None:
+        """Stop serving; used for both crashes and arbitration losses."""
+        if not self.running:
+            return
+        self.running = False
+        self.shutdown_reason = reason
+        self.network.set_down(self.addr)
+
+    def _ldm_pool_for(self, partition: int) -> CorePool:
+        # Partitions are pinned to LDM threads.  A node-group member holds
+        # the partitions congruent to its group index, and is *primary* for
+        # every R-th of those; dividing by groups*R decorrelates the thread
+        # index from both patterns so all LDM threads serve primary load.
+        config = self.cluster.config
+        local_index = partition // (config.num_node_groups * config.replication)
+        return self.ldm_pools[local_index % len(self.ldm_pools)]
+
+    # --------------------------------------------------------------- dispatch
+    def _dispatch_loop(self):
+        while True:
+            msg = yield self.mailbox.get()
+            if not self.running:
+                continue
+            self.env.process(self._handle(msg), name=f"{self.addr}:{msg.kind}")
+
+    def _handle(self, msg: Message):
+        yield self.recv_pool.submit(self.costs.recv_msg)
+        if not self.running:
+            return
+        handler = self._HANDLERS.get(msg.kind)
+        if handler is None:
+            raise NdbError(f"{self.addr}: unknown message kind {msg.kind!r}")
+        yield from handler(self, msg)
+
+    def _send(self, dst: NodeAddress, kind: str, payload: Any, size: int):
+        """Charge the SEND thread, then put the message on the wire."""
+        done = self.send_pool.submit(self.costs.send_msg)
+        done.callbacks.append(
+            lambda _e: self.network.send(
+                Message(src=self.addr, dst=dst, kind=kind, payload=payload, size=size)
+            )
+            if self.running
+            else None
+        )
+
+    def _reply(self, request: Message, payload: Any = None, ok: bool = True, size: int = 128):
+        done = self.send_pool.submit(self.costs.send_msg)
+        done.callbacks.append(
+            lambda _e: self.network.reply(request, payload=payload, ok=ok, size=size)
+            if self.running
+            else None
+        )
+
+    # ------------------------------------------------------------- TC helpers
+    def _txn(self, txid: int, client_az: AzId) -> _TcTxn:
+        txn = self.txns.get(txid)
+        if txn is None:
+            txn = _TcTxn(txid=txid, client_az=client_az)
+            self.txns[txid] = txn
+            self.cluster.register_txn(txid, self.addr)
+        txn.last_active_ms = self.env.now
+        return txn
+
+    def _inactivity_reaper(self):
+        """TransactionInactiveTimeout: abort client-abandoned transactions.
+
+        A client that dies mid-transaction leaves prepared rows and locks
+        behind; NDB's inactivity timeout rolls them back (Section II-B2).
+        """
+        timeout = self.cluster.config.inactive_timeout_ms
+        interval = max(1.0, timeout / 2)
+        while self.running:
+            yield self.env.timeout(interval)
+            if not self.running:
+                return
+            now = self.env.now
+            for txid, txn in list(self.txns.items()):
+                if txn.finished or now - txn.last_active_ms <= timeout:
+                    continue
+                self._abort_cleanup(txn)
+                self._drop_txn(txid)
+
+    def _drop_txn(self, txid: int) -> None:
+        txn = self.txns.pop(txid, None)
+        if txn is not None:
+            txn.finished = True
+        self.cluster.unregister_txn(txid)
+
+    # ------------------------------------------------------------- TC: reads
+    def _tc_read(self, msg: Message):
+        req: TcReadReq = msg.payload
+        yield self.tc_pool.submit(self.costs.tc_step)
+        table = self.cluster.schema.table(req.table)
+        pmap = self.cluster.partition_map
+        partition = pmap.partition_of(req.partition_key)
+        try:
+            if req.lock is LockMode.NONE:
+                node, role = select_read_replica(
+                    self.network.topology,
+                    pmap,
+                    table,
+                    partition,
+                    self.addr,
+                    self.cluster.config.az_aware,
+                    self._rng,
+                )
+            else:
+                replicas = pmap.replicas(partition, table.fully_replicated)
+                node, role = replicas.primary, 0
+        except NoDatanodesError as exc:
+            self._reply(msg, TransactionAbortedError(str(exc)), ok=False)
+            return
+        ldm_req = LdmReadReq(
+            txid=req.txid,
+            table=req.table,
+            pk=req.pk,
+            partition_key=req.partition_key,
+            partition=partition,
+            lock=req.lock,
+            role=role,
+            client_az=req.client_az,
+        )
+        if req.lock is not LockMode.NONE:
+            txn = self._txn(req.txid, req.client_az)  # refreshes last_active
+            txn.read_locks.setdefault(node, set()).add((req.table, req.pk))
+        if node == self.addr:
+            try:
+                value = yield from self._ldm_read_local(ldm_req)
+            except NdbError as exc:
+                self._reply(msg, exc, ok=False)
+                return
+            self._reply(msg, value, size=table.row_bytes)
+            return
+        try:
+            value = yield self.network.call(
+                self.addr, node, "ldm_read", ldm_req, size=_CHAIN_OVERHEAD_BYTES
+            )
+        except (HostUnreachableError, NdbError) as exc:
+            self._reply(msg, TransactionAbortedError(str(exc)), ok=False)
+            return
+        self._reply(msg, value, size=table.row_bytes)
+
+    def _tc_scan(self, msg: Message):
+        req: TcScanReq = msg.payload
+        yield self.tc_pool.submit(self.costs.tc_step)
+        table = self.cluster.schema.table(req.table)
+        pmap = self.cluster.partition_map
+        partition = pmap.partition_of(req.partition_key)
+        try:
+            node, role = select_read_replica(
+                self.network.topology,
+                pmap,
+                table,
+                partition,
+                self.addr,
+                self.cluster.config.az_aware,
+                self._rng,
+            )
+        except NoDatanodesError as exc:
+            self._reply(msg, TransactionAbortedError(str(exc)), ok=False)
+            return
+        ldm_req = LdmScanReq(
+            txid=req.txid,
+            table=req.table,
+            partition_key=req.partition_key,
+            partition=partition,
+            role=role,
+            client_az=req.client_az,
+        )
+        if node == self.addr:
+            rows = yield from self._ldm_scan_local(ldm_req)
+        else:
+            try:
+                rows = yield self.network.call(
+                    self.addr, node, "ldm_scan", ldm_req, size=_CHAIN_OVERHEAD_BYTES
+                )
+            except (HostUnreachableError, NdbError) as exc:
+                self._reply(msg, TransactionAbortedError(str(exc)), ok=False)
+                return
+        self._reply(msg, rows, size=max(128, len(rows) * table.row_bytes))
+
+    # ------------------------------------------------------------ TC: writes
+    def _tc_write(self, msg: Message):
+        req: TcWriteReq = msg.payload
+        yield self.tc_pool.submit(self.costs.tc_step)
+        table = self.cluster.schema.table(req.table)
+        pmap = self.cluster.partition_map
+        partition = pmap.partition_of(req.partition_key)
+        txn = self._txn(req.txid, req.client_az)
+        try:
+            replicas = pmap.replicas(partition, table.fully_replicated)
+        except NoDatanodesError as exc:
+            self._reply(msg, TransactionAbortedError(str(exc)), ok=False)
+            return
+        op = _RowOp(
+            seq=txn.next_seq,
+            table=req.table,
+            pk=req.pk,
+            partition_key=req.partition_key,
+            partition=partition,
+            value=req.value,
+            chain=replicas.chain,
+            want_completed=table.read_backup or table.fully_replicated,
+        )
+        txn.next_seq += 1
+        txn.ops[op.seq] = op
+        op.prepared = self.env.event()
+        prepare = ChainPrepare(
+            txid=req.txid,
+            seq=op.seq,
+            table=op.table,
+            pk=op.pk,
+            partition_key=op.partition_key,
+            partition=op.partition,
+            value=op.value,
+            chain=op.chain,
+            hop=0,
+            tc=self.addr,
+        )
+        self._dispatch_chain_prepare(prepare)
+        try:
+            yield op.prepared
+        except NdbError as exc:
+            self._reply(msg, TransactionAbortedError(str(exc)), ok=False)
+            return
+        self._reply(msg, True)
+
+    def _dispatch_chain_prepare(self, prepare: ChainPrepare) -> None:
+        target = prepare.chain[prepare.hop]
+        size = _CHAIN_OVERHEAD_BYTES + self.cluster.schema.table(prepare.table).row_bytes
+        if target == self.addr:
+            self.env.process(self._chain_prepare_body(prepare))
+        else:
+            self._send(target, "chain_prepare", prepare, size)
+
+    # ---------------------------------------------------------- LDM: chains
+    def _chain_prepare(self, msg: Message):
+        yield from self._chain_prepare_body(msg.payload)
+
+    def _chain_prepare_body(self, cp: ChainPrepare):
+        if not self.running:
+            return
+        pool = self._ldm_pool_for(cp.partition)
+        # NDB locks the row on the primary replica first, then on the backup
+        # replicas (Section II-B2) — the chain order guarantees exactly that.
+        # Backup locks are released by the Complete message.
+        try:
+            yield self.locks.acquire(cp.txid, (cp.table, cp.pk), LockMode.EXCLUSIVE)
+        except NdbError as exc:
+            self._send(
+                cp.tc,
+                "prepare_failed",
+                PrepareFailedMsg(txid=cp.txid, seq=cp.seq, error=str(exc)),
+                size=128,
+            )
+            return
+        yield pool.submit(self.costs.ldm_prepare)
+        if not self.running:
+            return
+        self.store.prepare(cp.txid, cp.table, cp.pk, cp.partition_key, cp.value)
+        size = _CHAIN_OVERHEAD_BYTES + self.cluster.schema.table(cp.table).row_bytes
+        if cp.hop == len(cp.chain) - 1:
+            self._send(cp.tc, "prepared", PreparedMsg(txid=cp.txid, seq=cp.seq), size=128)
+        else:
+            nxt = ChainPrepare(**{**cp.__dict__, "hop": cp.hop + 1})
+            self._send(cp.chain[nxt.hop], "chain_prepare", nxt, size)
+
+    def _chain_commit(self, msg: Message):
+        yield from self._chain_commit_body(msg.payload)
+
+    def _chain_commit_body(self, cc: ChainCommit):
+        if not self.running:
+            return
+        pool = self._ldm_pool_for(cc.partition)
+        yield pool.submit(self.costs.ldm_commit)
+        if not self.running:
+            return
+        if cc.hop == 0:
+            # Primary: apply, release the row lock, report Committed.
+            self.store.commit_prepared(cc.txid, cc.table, cc.pk)
+            self.locks.release(cc.txid, (cc.table, cc.pk))
+            self._write_redo()
+            self._send(cc.tc, "committed", CommittedMsg(txid=cc.txid, seq=cc.seq), size=128)
+        else:
+            nxt = ChainCommit(**{**cc.__dict__, "hop": cc.hop - 1})
+            target = cc.chain[nxt.hop]
+            if target == self.addr:
+                self.env.process(self._chain_commit_body(nxt))
+            else:
+                self._send(target, "chain_commit", nxt, size=128)
+
+    def _complete(self, msg: Message):
+        yield from self._complete_body(msg.payload)
+
+    def _complete_body(self, cm: CompleteMsg):
+        if not self.running:
+            return
+        # The Complete applies the prepared version on the backup replica and
+        # frees transaction memory (Section II-B2).
+        yield self._ldm_pool_for(cm.partition).submit(self.costs.ldm_commit)
+        if not self.running:
+            return
+        try:
+            self.store.commit_prepared(cm.txid, cm.table, cm.pk)
+        except NdbError:
+            pass  # already applied (e.g. retried Complete)
+        self.locks.release(cm.txid, (cm.table, cm.pk))
+        self._write_redo()
+        if cm.want_completed:
+            self._send(cm.tc, "completed", CompletedMsg(txid=cm.txid, seq=cm.seq), size=128)
+
+    def _write_redo(self) -> None:
+        """Asynchronously append to the redo log (REP/IO threads + disk)."""
+        self.rep_pool.submit(self.costs.send_msg)
+        self.io_pool.submit(self.costs.send_msg)
+        self.disk.write(self.costs.redo_bytes_per_write)
+
+    # ------------------------------------------------------------ TC: commit
+    def _tc_commit(self, msg: Message):
+        req: TcCommitReq = msg.payload
+        yield self.tc_pool.submit(self.costs.tc_step)
+        txn = self.txns.get(req.txid)
+        if txn is not None:
+            txn.last_active_ms = self.env.now
+        if txn is None or not txn.ops:
+            # Read-only (or empty) transaction: just release read locks.
+            if txn is not None:
+                self._release_read_locks(txn)
+                self._drop_txn(req.txid)
+            self._reply(msg, True)
+            return
+        ops = list(txn.ops.values())
+        # A chain participant may have been declared failed since we
+        # prepared; NDB aborts such transactions (the client retries).
+        pmap = self.cluster.partition_map
+        dead = [n for op in ops for n in op.chain if not pmap.is_up(n)]
+        if dead:
+            self._abort_cleanup(txn)
+            self._drop_txn(req.txid)
+            self._reply(
+                msg,
+                TransactionAbortedError(f"replica {dead[0]} failed before commit"),
+                ok=False,
+            )
+            return
+        for op in ops:
+            op.committed = self.env.event()
+            commit = ChainCommit(
+                txid=req.txid,
+                seq=op.seq,
+                table=op.table,
+                pk=op.pk,
+                partition=op.partition,
+                chain=op.chain,
+                hop=len(op.chain) - 1,
+                tc=self.addr,
+            )
+            target = op.chain[commit.hop]
+            if target == self.addr:
+                self.env.process(self._chain_commit_body(commit))
+            else:
+                self._send(target, "chain_commit", commit, size=128)
+        # Strict 2PL: the commit point has been reached, read locks go now.
+        self._release_read_locks(txn)
+        try:
+            yield self.env.all_of([op.committed for op in ops])
+        except NdbError as exc:
+            self._abort_cleanup(txn)
+            self._drop_txn(req.txid)
+            self._reply(msg, TransactionAbortedError(str(exc)), ok=False)
+            return
+        # Send Complete to every backup replica.  For Read Backup / Fully
+        # Replicated tables the paper delays the client ACK until all
+        # Completed messages arrive (message 14 instead of 10 in Fig. 2).
+        waiters = []
+        for op in ops:
+            backups = op.chain[1:]
+            op.completed_pending = len(backups) if op.want_completed else 0
+            if op.completed_pending:
+                op.all_completed = self.env.event()
+                waiters.append(op.all_completed)
+            for backup in backups:
+                complete = CompleteMsg(
+                    txid=req.txid,
+                    seq=op.seq,
+                    table=op.table,
+                    pk=op.pk,
+                    partition=op.partition,
+                    tc=self.addr,
+                    want_completed=op.want_completed,
+                )
+                if backup == self.addr:
+                    self.env.process(self._complete_body(complete))
+                else:
+                    self._send(backup, "complete", complete, size=128)
+        if waiters:
+            try:
+                yield self.env.all_of(waiters)
+            except NdbError as exc:
+                self._drop_txn(req.txid)
+                self._reply(msg, TransactionAbortedError(str(exc)), ok=False)
+                return
+        self._drop_txn(req.txid)
+        self._reply(msg, True)
+
+    def _tc_abort(self, msg: Message):
+        req: TcAbortReq = msg.payload
+        yield self.tc_pool.submit(self.costs.tc_step)
+        txn = self.txns.get(req.txid)
+        if txn is not None:
+            self._abort_cleanup(txn)
+            self._drop_txn(req.txid)
+        self._reply(msg, True)
+
+    def _release_read_locks(self, txn: _TcTxn) -> None:
+        # Rows in the write set keep their X locks until the commit chain
+        # applies them at the primary; only read-only locks go now.
+        written = {(op.table, op.pk) for op in txn.ops.values()}
+        for node, keys in txn.read_locks.items():
+            keys = keys - written
+            if not keys:
+                continue
+            if node == self.addr:
+                for key in keys:
+                    self.locks.release(txn.txid, key)
+            else:
+                release = ReleaseLocksMsg(txid=txn.txid, keys=frozenset(keys))
+                self._send(node, "release_locks", release, size=64)
+        txn.read_locks.clear()
+
+    def _abort_cleanup(self, txn: _TcTxn) -> None:
+        """Undo prepared rows and release all locks for an aborted txn."""
+        touched: set[NodeAddress] = set(txn.read_locks)
+        for op in txn.ops.values():
+            touched.update(op.chain)
+        for node in touched:
+            if node == self.addr:
+                self.store.abort_all(txn.txid)
+                self.locks.release_all(txn.txid)
+            else:
+                self._send(node, "release_locks", ReleaseLocksMsg(txid=txn.txid), size=64)
+        txn.read_locks.clear()
+
+    # ------------------------------------------------------- TC: chain acks
+    def _on_prepared(self, msg: Message):
+        ack: PreparedMsg = msg.payload
+        yield self.tc_pool.submit(self.costs.tc_step)
+        op = self._op_for(ack.txid, ack.seq)
+        if op is not None and op.prepared is not None and not op.prepared.triggered:
+            op.prepared.succeed()
+
+    def _on_prepare_failed(self, msg: Message):
+        fail: PrepareFailedMsg = msg.payload
+        yield self.tc_pool.submit(self.costs.tc_step)
+        op = self._op_for(fail.txid, fail.seq)
+        if op is not None and op.prepared is not None and not op.prepared.triggered:
+            op.prepared.fail(TransactionAbortedError(fail.error))
+
+    def _on_committed(self, msg: Message):
+        ack: CommittedMsg = msg.payload
+        yield self.tc_pool.submit(self.costs.tc_step)
+        op = self._op_for(ack.txid, ack.seq)
+        if op is not None and op.committed is not None and not op.committed.triggered:
+            op.committed.succeed()
+
+    def _on_completed(self, msg: Message):
+        ack: CompletedMsg = msg.payload
+        yield self.tc_pool.submit(self.costs.tc_step)
+        op = self._op_for(ack.txid, ack.seq)
+        if op is None or op.all_completed is None:
+            return
+        op.completed_pending -= 1
+        if op.completed_pending == 0 and not op.all_completed.triggered:
+            op.all_completed.succeed()
+
+    def _op_for(self, txid: int, seq: int) -> Optional[_RowOp]:
+        txn = self.txns.get(txid)
+        if txn is None:
+            return None
+        return txn.ops.get(seq)
+
+    # ----------------------------------------------------------- LDM: reads
+    def _ldm_read(self, msg: Message):
+        req: LdmReadReq = msg.payload
+        try:
+            value = yield from self._ldm_read_local(req)
+        except NdbError as exc:
+            self._reply(msg, exc, ok=False)
+            return
+        size = self.cluster.schema.table(req.table).row_bytes
+        self._reply(msg, value, size=size)
+
+    def _ldm_read_local(self, req: LdmReadReq):
+        pool = self._ldm_pool_for(req.partition)
+        if req.lock is not LockMode.NONE:
+            # Locked reads always run on the primary replica.
+            yield self.locks.acquire(req.txid, (req.table, req.pk), req.lock)
+        yield pool.submit(self.costs.ldm_read)
+        if not self.running:
+            raise NodeFailedError(f"{self.addr} shut down mid-read")
+        if req.lock is not LockMode.NONE:
+            value = self.store.read_for(req.txid, req.table, req.pk)
+        else:
+            value = self.store.read(req.table, req.pk)
+        self.cluster.read_stats.record(
+            req.table,
+            req.partition,
+            req.role,
+            self.addr,
+            same_az=(self.az == req.client_az),
+        )
+        return value
+
+    def _ldm_scan(self, msg: Message):
+        req: LdmScanReq = msg.payload
+        rows = yield from self._ldm_scan_local(req)
+        size = max(128, len(rows) * self.cluster.schema.table(req.table).row_bytes)
+        self._reply(msg, rows, size=size)
+
+    def _ldm_scan_local(self, req: LdmScanReq):
+        pool = self._ldm_pool_for(req.partition)
+        rows = self.store.scan(req.table, req.partition_key)
+        cost = self.costs.ldm_scan_base + self.costs.ldm_scan_row * len(rows)
+        yield pool.submit(cost)
+        if not self.running:
+            raise NodeFailedError(f"{self.addr} shut down mid-scan")
+        self.cluster.read_stats.record(
+            req.table,
+            req.partition,
+            req.role,
+            self.addr,
+            same_az=(self.az == req.client_az),
+        )
+        return rows
+
+    def _release_locks_handler(self, msg: Message):
+        release: ReleaseLocksMsg = msg.payload
+        yield self._ldm_pool_for(0).submit(self.costs.ldm_commit)
+        if release.keys is None:
+            # Abort path: roll back prepared rows and drop every lock.
+            self.store.abort_all(release.txid)
+            self.locks.release_all(release.txid)
+        else:
+            for key in release.keys:
+                self.locks.release(release.txid, key)
+
+    # ------------------------------------------------------------- heartbeat
+    def _heartbeat(self, msg: Message):
+        hb: HeartbeatMsg = msg.payload
+        yield self.main_pool.submit(self.costs.recv_msg)
+        self.last_heartbeat_from[hb.sender] = self.env.now
+
+    # --------------------------------------------------------------- failure
+    def on_peer_failed(self, dead: NodeAddress) -> None:
+        """React to the cluster-level failure protocol declaring ``dead``.
+
+        As a TC we fail pending chain events touching the dead node so that
+        transactions abort promptly (clients retry); as an LDM we roll back
+        prepared rows and locks of transactions coordinated by the dead TC —
+        the observable outcome of NDB's take-over protocol.
+        """
+        for txn in list(self.txns.values()):
+            for op in txn.ops.values():
+                if dead not in op.chain:
+                    continue
+                error = NodeFailedError(f"{dead} failed during transaction {txn.txid}")
+                for event in (op.prepared, op.committed, op.all_completed):
+                    if event is not None and not event.triggered:
+                        event.fail(error)
+
+    def abort_orphaned(self, txid: int) -> None:
+        """Roll back local state of a transaction whose TC died."""
+        self.store.abort_all(txid)
+        self.locks.release_all(txid)
+
+    # ----------------------------------------------------------- dispatch map
+    _HANDLERS = {
+        "tc_read": _tc_read,
+        "tc_scan": _tc_scan,
+        "tc_write": _tc_write,
+        "tc_commit": _tc_commit,
+        "tc_abort": _tc_abort,
+        "ldm_read": _ldm_read,
+        "ldm_scan": _ldm_scan,
+        "chain_prepare": _chain_prepare,
+        "chain_commit": _chain_commit,
+        "complete": _complete,
+        "release_locks": _release_locks_handler,
+        "prepared": _on_prepared,
+        "prepare_failed": _on_prepare_failed,
+        "committed": _on_committed,
+        "completed": _on_completed,
+        "heartbeat": _heartbeat,
+    }

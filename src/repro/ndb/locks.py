@@ -1,0 +1,186 @@
+"""Row-level locking with strict two-phase locking semantics.
+
+NDB uses strict 2PL (Section II-B2): locks are acquired as operations
+execute and released only at commit/abort.  Deadlocks are broken by
+``TransactionDeadlockDetectionTimeout`` — a waiter that cannot get the lock
+in time aborts its transaction, and the application (HopsFS) retries.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Hashable
+
+from ..errors import LockTimeoutError
+from ..sim import Environment, Event
+from .schema import LockMode
+
+__all__ = ["LockTable"]
+
+
+@dataclass
+class _LockRequest:
+    txid: int
+    mode: LockMode
+    event: Event
+    granted: bool = False
+    abandoned: bool = False
+
+
+@dataclass
+class _RowLock:
+    holders: dict[int, LockMode] = field(default_factory=dict)
+    queue: Deque[_LockRequest] = field(default_factory=deque)
+
+    @property
+    def idle(self) -> bool:
+        return not self.holders and not self.queue
+
+
+class LockTable:
+    """Per-datanode lock manager for the rows it stores."""
+
+    def __init__(self, env: Environment, deadlock_timeout_ms: float = 1200.0):
+        self.env = env
+        self.deadlock_timeout_ms = deadlock_timeout_ms
+        self._rows: dict[Hashable, _RowLock] = {}
+        # txid -> set of row keys it holds or waits on (for release_all)
+        self._by_txn: dict[int, set[Hashable]] = {}
+        self.timeouts_fired = 0
+
+    # -- public API -----------------------------------------------------------
+    def acquire(self, txid: int, key: Hashable, mode: LockMode) -> Event:
+        """Request ``mode`` on row ``key``; returns an event granted later.
+
+        Fails with :class:`LockTimeoutError` if the deadlock-detection
+        timeout fires first.
+        """
+        if mode is LockMode.NONE:
+            raise ValueError("LockMode.NONE is not a lock")
+        row = self._rows.setdefault(key, _RowLock())
+        event = self.env.event()
+        held = row.holders.get(txid)
+        if held is not None and self._covers(held, mode):
+            event.succeed()
+            return event
+        request = _LockRequest(txid=txid, mode=mode, event=event)
+        if self._grantable(row, request):
+            self._grant(row, request, key)
+            return event
+        if held is not None:
+            # Lock upgrade (S -> X): goes to the front of the queue so the
+            # holder is not starved behind newcomers.
+            row.queue.appendleft(request)
+        else:
+            row.queue.append(request)
+        self._by_txn.setdefault(txid, set()).add(key)
+        timer = self.env.timeout(self.deadlock_timeout_ms)
+        timer.callbacks.append(lambda _t, r=request, k=key: self._expire(r, k))
+        return event
+
+    def release(self, txid: int, key: Hashable) -> None:
+        """Release one row lock held by ``txid`` (commit applies per-row)."""
+        row = self._rows.get(key)
+        if row is None:
+            return
+        if row.holders.pop(txid, None) is not None:
+            keys = self._by_txn.get(txid)
+            if keys is not None:
+                keys.discard(key)
+                if not keys:
+                    del self._by_txn[txid]
+        self._pump(row, key)
+
+    def release_all(self, txid: int) -> None:
+        """Release every lock held (or awaited) by ``txid``."""
+        keys = self._by_txn.pop(txid, set())
+        for key in keys:
+            row = self._rows.get(key)
+            if row is None:
+                continue
+            row.holders.pop(txid, None)
+            for request in row.queue:
+                if request.txid == txid and not request.abandoned:
+                    request.abandoned = True
+                    if not request.event.triggered:
+                        request.event.fail(
+                            LockTimeoutError(
+                                f"txn {txid} aborted while waiting for {key!r}"
+                            )
+                        )
+            self._pump(row, key)
+
+    def holds(self, txid: int, key: Hashable, mode: LockMode) -> bool:
+        row = self._rows.get(key)
+        if row is None:
+            return False
+        held = row.holders.get(txid)
+        return held is not None and self._covers(held, mode)
+
+    def held_keys(self, txid: int) -> set[Hashable]:
+        return set(self._by_txn.get(txid, set()))
+
+    @property
+    def active_rows(self) -> int:
+        return sum(1 for row in self._rows.values() if not row.idle)
+
+    # -- internals --------------------------------------------------------------
+    @staticmethod
+    def _covers(held: LockMode, wanted: LockMode) -> bool:
+        if held is LockMode.EXCLUSIVE:
+            return True
+        return wanted is LockMode.SHARED
+
+    @staticmethod
+    def _compatible(holders: dict[int, LockMode], request: _LockRequest) -> bool:
+        others = {t: m for t, m in holders.items() if t != request.txid}
+        if not others:
+            return True
+        if request.mode is LockMode.EXCLUSIVE:
+            return False
+        return all(m is LockMode.SHARED for m in others.values())
+
+    def _grantable(self, row: _RowLock, request: _LockRequest) -> bool:
+        # FIFO fairness: cannot jump a non-empty queue unless upgrading.
+        if row.queue and request.txid not in row.holders:
+            return False
+        return self._compatible(row.holders, request)
+
+    def _grant(self, row: _RowLock, request: _LockRequest, key: Hashable) -> None:
+        request.granted = True
+        row.holders[request.txid] = request.mode
+        self._by_txn.setdefault(request.txid, set()).add(key)
+        if not request.event.triggered:
+            request.event.succeed()
+
+    def _pump(self, row: _RowLock, key: Hashable) -> None:
+        while row.queue:
+            head = row.queue[0]
+            if head.abandoned or head.event.triggered:
+                row.queue.popleft()
+                continue
+            if not self._compatible(row.holders, head):
+                break
+            row.queue.popleft()
+            self._grant(row, head, key)
+        if row.idle:
+            self._rows.pop(key, None)
+
+    def _expire(self, request: _LockRequest, key: Hashable) -> None:
+        if request.granted or request.abandoned or request.event.triggered:
+            return
+        request.abandoned = True
+        self.timeouts_fired += 1
+        row = self._rows.get(key)
+        if row is not None:
+            try:
+                row.queue.remove(request)
+            except ValueError:
+                pass
+            self._pump(row, key)
+        request.event.fail(
+            LockTimeoutError(
+                f"txn {request.txid} timed out waiting for {request.mode.value} on {key!r}"
+            )
+        )

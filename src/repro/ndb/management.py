@@ -1,0 +1,74 @@
+"""NDB management nodes and split-brain arbitration.
+
+A management node's role during network partitions (Section IV-A2): the
+arbitrator "accepts the first set of database nodes to contact it and tells
+the remaining set to shutdown"; nodes that cannot contact the arbitrator
+assume they are partitioned and shut down gracefully.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..net.network import Message, Network
+from ..sim import Environment
+from ..types import AzId, NodeAddress
+from .messages import ArbitrationReq
+
+__all__ = ["ManagementNode"]
+
+
+class ManagementNode:
+    """One ndb_mgmd process; at most one is the active arbitrator."""
+
+    def __init__(self, env: Environment, network: Network, addr: NodeAddress, az: AzId):
+        self.env = env
+        self.network = network
+        self.addr = addr
+        self.az = az
+        self.mailbox = network.register(addr)
+        self.running = False
+        # Arbitration state: the component granted the right to continue in
+        # the current partition epoch.
+        self.granted_component: Optional[frozenset[NodeAddress]] = None
+        self.arbitration_epoch = 0
+        self.grants = 0
+        self.denials = 0
+
+    def start(self) -> None:
+        if self.running:
+            return
+        self.running = True
+        self.env.process(self._loop(), name=f"{self.addr}:mgmd")
+
+    def shutdown(self) -> None:
+        self.running = False
+        self.network.set_down(self.addr)
+
+    def reset_arbitration(self) -> None:
+        """Called when partitions heal; the next partition is a new epoch."""
+        self.granted_component = None
+        self.arbitration_epoch += 1
+
+    def _loop(self):
+        while True:
+            msg = yield self.mailbox.get()
+            if not self.running:
+                continue
+            if msg.kind == "arbitration_req":
+                self._arbitrate(msg)
+
+    def _arbitrate(self, msg: Message) -> None:
+        req: ArbitrationReq = msg.payload
+        if self.granted_component is None:
+            # First component to reach the arbitrator wins.
+            self.granted_component = frozenset(req.component)
+            self.grants += 1
+            self.network.reply(msg, payload=True)
+            return
+        if req.requester in self.granted_component:
+            self.grants += 1
+            self.network.reply(msg, payload=True)
+        else:
+            self.denials += 1
+            self.network.reply(msg, payload=False)

@@ -1,0 +1,110 @@
+"""Table definitions and the paper's new table options.
+
+The two options introduced by the paper (Section IV-A3):
+
+* ``read_backup`` — committed reads may be served by backup replicas; the
+  commit protocol delays the client ACK until every backup has completed,
+  so read-your-writes holds on any replica.
+* ``fully_replicated`` — every datanode stores a copy of the table; writes
+  run linear 2PC across all replicas, reads can be AZ-local everywhere.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import ConfigError
+
+__all__ = ["LockMode", "TableDef", "Schema", "TOMBSTONE"]
+
+# Marker for deletes travelling through the prepare/commit pipeline.
+TOMBSTONE = object()
+
+
+class LockMode(enum.Enum):
+    """Lock modes for NDB reads (writes always take EXCLUSIVE)."""
+
+    NONE = "committed"  # read committed, no lock
+    SHARED = "shared"
+    EXCLUSIVE = "exclusive"
+
+
+@dataclass(frozen=True)
+class TableDef:
+    """One NDB table.
+
+    ``row_bytes`` sizes the messages that carry rows of this table, which
+    feeds the network-utilization figures.
+    """
+
+    name: str
+    read_backup: bool = False
+    fully_replicated: bool = False
+    row_bytes: int = 192
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigError("table needs a name")
+        if self.row_bytes <= 0:
+            raise ConfigError("row_bytes must be positive")
+
+
+class Schema:
+    """The set of tables in one NDB cluster."""
+
+    def __init__(self) -> None:
+        self._tables: dict[str, TableDef] = {}
+
+    def define(
+        self,
+        name: str,
+        read_backup: bool = False,
+        fully_replicated: bool = False,
+        row_bytes: int = 192,
+    ) -> TableDef:
+        if name in self._tables:
+            raise ConfigError(f"table {name!r} already defined")
+        table = TableDef(
+            name=name,
+            read_backup=read_backup,
+            fully_replicated=fully_replicated,
+            row_bytes=row_bytes,
+        )
+        self._tables[name] = table
+        return table
+
+    def table(self, name: str) -> TableDef:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise ConfigError(f"unknown table {name!r}") from None
+
+    def get(self, name: str) -> Optional[TableDef]:
+        return self._tables.get(name)
+
+    def tables(self) -> list[TableDef]:
+        return list(self._tables.values())
+
+    def with_read_backup_everywhere(self) -> "Schema":
+        """Clone with ``read_backup`` forced on for every table.
+
+        HopsFS-CL "ensures that all the tables are Read Backup enabled"
+        (Section IV-A5); this is the switch that does it.
+        """
+        clone = Schema()
+        for table in self._tables.values():
+            clone.define(
+                table.name,
+                read_backup=True,
+                fully_replicated=table.fully_replicated,
+                row_bytes=table.row_bytes,
+            )
+        return clone
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tables
+
+    def __len__(self) -> int:
+        return len(self._tables)

@@ -1,0 +1,178 @@
+"""Per-datanode fragment store and cluster-wide read statistics.
+
+Each NDB datanode stores the fragments (partition replicas) assigned to its
+node group.  A prepared-but-uncommitted version sits next to the committed
+one until Commit/Complete applies it — this is what makes the short
+"backup replicas might be out of date" window of Section II-B2 observable,
+and what the Read Backup delayed-ACK change closes.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Any, Hashable, Iterator, Optional
+
+from ..errors import NdbError
+from ..types import NodeAddress
+from .schema import TOMBSTONE
+
+__all__ = ["FragmentStore", "ReadStats"]
+
+
+@dataclass
+class _Row:
+    value: Any
+    partition_key: Hashable
+
+
+@dataclass
+class _Prepared:
+    txid: int
+    value: Any  # TOMBSTONE for deletes
+    partition_key: Hashable
+
+
+class FragmentStore:
+    """Committed rows + prepared (in-flight) versions on one datanode."""
+
+    def __init__(self) -> None:
+        self._rows: dict[tuple[str, Hashable], _Row] = {}
+        # (table, partition_key) -> set of pks, for partition-pruned scans.
+        self._index: dict[tuple[str, Hashable], set[Hashable]] = defaultdict(set)
+        self._prepared: dict[tuple[str, Hashable], _Prepared] = {}
+
+    # -- reads ------------------------------------------------------------
+    def read(self, table: str, pk: Hashable) -> Optional[Any]:
+        row = self._rows.get((table, pk))
+        return row.value if row is not None else None
+
+    def read_for(self, txid: int, table: str, pk: Hashable) -> Optional[Any]:
+        """Read seeing the transaction's own prepared (uncommitted) version."""
+        prepared = self._prepared.get((table, pk))
+        if prepared is not None and prepared.txid == txid:
+            return None if prepared.value is TOMBSTONE else prepared.value
+        return self.read(table, pk)
+
+    def scan(self, table: str, partition_key: Hashable) -> list[tuple[Hashable, Any]]:
+        """All committed rows of ``table`` with the given partition key."""
+        result = []
+        for pk in self._index.get((table, partition_key), ()):
+            row = self._rows.get((table, pk))
+            if row is not None:
+                result.append((pk, row.value))
+        result.sort(key=lambda item: repr(item[0]))
+        return result
+
+    def has_prepared(self, table: str, pk: Hashable) -> bool:
+        return (table, pk) in self._prepared
+
+    # -- write pipeline -----------------------------------------------------
+    def prepare(self, txid: int, table: str, pk: Hashable, partition_key: Hashable, value: Any) -> None:
+        key = (table, pk)
+        existing = self._prepared.get(key)
+        if existing is not None and existing.txid != txid:
+            raise NdbError(
+                f"row {key} already prepared by txn {existing.txid} (lock protocol violated)"
+            )
+        self._prepared[key] = _Prepared(txid=txid, value=value, partition_key=partition_key)
+
+    def commit_prepared(self, txid: int, table: str, pk: Hashable) -> None:
+        key = (table, pk)
+        prepared = self._prepared.pop(key, None)
+        if prepared is None or prepared.txid != txid:
+            raise NdbError(f"no prepared version of {key} for txn {txid}")
+        self._apply(table, pk, prepared.partition_key, prepared.value)
+
+    def abort_prepared(self, txid: int, table: str, pk: Hashable) -> None:
+        key = (table, pk)
+        prepared = self._prepared.get(key)
+        if prepared is not None and prepared.txid == txid:
+            del self._prepared[key]
+
+    def abort_all(self, txid: int) -> None:
+        doomed = [k for k, p in self._prepared.items() if p.txid == txid]
+        for key in doomed:
+            del self._prepared[key]
+
+    # -- bulk load (preloading namespaces without the protocol) -----------------
+    def load(self, table: str, pk: Hashable, partition_key: Hashable, value: Any) -> None:
+        self._apply(table, pk, partition_key, value)
+
+    def _apply(self, table: str, pk: Hashable, partition_key: Hashable, value: Any) -> None:
+        key = (table, pk)
+        old = self._rows.get(key)
+        if value is TOMBSTONE:
+            if old is not None:
+                del self._rows[key]
+                self._index[(table, old.partition_key)].discard(pk)
+            return
+        if old is not None and old.partition_key != partition_key:
+            self._index[(table, old.partition_key)].discard(pk)
+        self._rows[key] = _Row(value=value, partition_key=partition_key)
+        self._index[(table, partition_key)].add(pk)
+
+    # -- introspection -------------------------------------------------------
+    def row_count(self, table: Optional[str] = None) -> int:
+        if table is None:
+            return len(self._rows)
+        return sum(1 for t, _pk in self._rows if t == table)
+
+    def prepared_count(self) -> int:
+        return len(self._prepared)
+
+    def iter_rows(self, table: str) -> Iterator[tuple[Hashable, Any]]:
+        for (t, pk), row in self._rows.items():
+            if t == table:
+                yield pk, row.value
+
+
+class ReadStats:
+    """Cluster-wide counters of which replica served each committed read.
+
+    Figure 14 of the paper plots, per partition, the fraction of reads that
+    hit the primary vs each backup replica with Read Backup on and off.
+    """
+
+    def __init__(self) -> None:
+        # (table, partition, replica_role) -> count;  role 0 = primary.
+        self.by_replica: dict[tuple[str, int, int], int] = defaultdict(int)
+        # AZ locality accounting: were reader and serving node in the same AZ?
+        self.az_local_reads = 0
+        self.az_remote_reads = 0
+
+    def record(
+        self,
+        table: str,
+        partition: int,
+        role: int,
+        node: NodeAddress,
+        same_az: bool,
+    ) -> None:
+        self.by_replica[(table, partition, role)] += 1
+        if same_az:
+            self.az_local_reads += 1
+        else:
+            self.az_remote_reads += 1
+
+    def partition_distribution(self, partition: int) -> dict[int, int]:
+        """role -> reads for one partition, summed over tables."""
+        out: dict[int, int] = defaultdict(int)
+        for (table, part, role), count in self.by_replica.items():
+            if part == partition:
+                out[role] += count
+        return dict(out)
+
+    def total_reads(self) -> int:
+        return sum(self.by_replica.values())
+
+    def primary_fraction(self) -> float:
+        total = self.total_reads()
+        if not total:
+            return 0.0
+        primary = sum(c for (t, p, role), c in self.by_replica.items() if role == 0)
+        return primary / total
+
+    def az_local_fraction(self) -> float:
+        total = self.az_local_reads + self.az_remote_reads
+        return self.az_local_reads / total if total else 0.0

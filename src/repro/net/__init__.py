@@ -1,0 +1,26 @@
+"""AZ topology, latency model (Table I), message passing and traffic accounting."""
+
+from .network import DEFAULT_MESSAGE_BYTES, Message, Network
+from .topology import (
+    SAME_HOST_LATENCY_MS,
+    TABLE1_LATENCY_MS,
+    US_WEST1_AZS,
+    Host,
+    Topology,
+    build_us_west1,
+)
+from .traffic import NodeTraffic, TrafficMatrix
+
+__all__ = [
+    "DEFAULT_MESSAGE_BYTES",
+    "Message",
+    "Network",
+    "SAME_HOST_LATENCY_MS",
+    "TABLE1_LATENCY_MS",
+    "US_WEST1_AZS",
+    "Host",
+    "Topology",
+    "build_us_west1",
+    "NodeTraffic",
+    "TrafficMatrix",
+]

@@ -1,0 +1,262 @@
+"""Message-passing network with AZ latencies, partitions and RPC.
+
+Messages between hosts are delayed by the Table I latency for the AZ pair
+(see :mod:`repro.net.topology`), accounted in a :class:`TrafficMatrix`, and
+dropped when the destination is down or partitioned away.  RPCs fail fast
+with :class:`HostUnreachableError` when their peer dies or is cut off —
+modelling the TCP connection reset a real client would observe.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Optional
+
+from ..errors import HostUnreachableError, NetworkError
+from ..sim import Environment, Event, Store
+from ..types import AzId, NodeAddress
+from .topology import Topology
+from .traffic import TrafficMatrix
+
+__all__ = ["Message", "Network", "DEFAULT_MESSAGE_BYTES"]
+
+DEFAULT_MESSAGE_BYTES = 256
+
+
+@dataclass
+class Message:
+    """One network message.  ``rpc_id`` links requests to replies."""
+
+    src: NodeAddress
+    dst: NodeAddress
+    kind: str
+    payload: Any = None
+    size: int = DEFAULT_MESSAGE_BYTES
+    rpc_id: Optional[int] = None
+    is_reply: bool = False
+    ok: bool = True
+    send_time: float = 0.0
+    extra: dict = field(default_factory=dict)
+
+
+class Network:
+    """The simulated region network."""
+
+    def __init__(
+        self,
+        env: Environment,
+        topology: Topology,
+        jitter_frac: float = 0.0,
+        rng=None,
+        az_link_bandwidth_bytes_per_ms: Optional[float] = None,
+    ):
+        self.env = env
+        self.topology = topology
+        self.traffic = TrafficMatrix()
+        self.jitter_frac = jitter_frac
+        self.rng = rng
+        # Finite inter-AZ fabric capacity: every cross-AZ message queues on
+        # the shared regional interconnect.  Intra-AZ traffic is uncapped —
+        # the paper's Section III-C2 asymmetry (inter-AZ bandwidth is the
+        # scarce, billed resource; "network I/O becomes a bottleneck" at
+        # scale, Section V-B1).  None disables the cap.
+        self.az_link_bandwidth = az_link_bandwidth_bytes_per_ms
+        self._fabric_drain_at = 0.0
+        self._mailboxes: dict[NodeAddress, Store] = {}
+        self._down: set[NodeAddress] = set()
+        # Each partition entry is a pair of AZ-id frozensets that cannot talk.
+        self._partitions: list[tuple[frozenset[AzId], frozenset[AzId]]] = []
+        self._rpc_ids = itertools.count(1)
+        # rpc_id -> (completion event, caller address, peer address)
+        self._pending: dict[int, tuple[Event, NodeAddress, NodeAddress]] = {}
+        self.dropped_messages = 0
+
+    # -- membership ---------------------------------------------------------
+    def register(self, address: NodeAddress) -> Store:
+        """Create (or return) the mailbox for ``address``."""
+        self.topology.host(address)  # validates placement
+        mailbox = self._mailboxes.get(address)
+        if mailbox is None:
+            mailbox = Store(self.env, name=f"mbox:{address}")
+            self._mailboxes[address] = mailbox
+        return mailbox
+
+    def mailbox(self, address: NodeAddress) -> Store:
+        try:
+            return self._mailboxes[address]
+        except KeyError:
+            raise NetworkError(f"{address} has no mailbox (not registered)") from None
+
+    def is_up(self, address: NodeAddress) -> bool:
+        return address not in self._down
+
+    def set_down(self, address: NodeAddress) -> None:
+        """Crash a host: lose its queued mail, fail RPCs awaiting it."""
+        if address in self._down:
+            return
+        self._down.add(address)
+        mailbox = self._mailboxes.get(address)
+        if mailbox is not None:
+            while len(mailbox):
+                mailbox.get()  # drain (messages are lost)
+        self._fail_pending(lambda src, dst: dst == address)
+
+    def set_up(self, address: NodeAddress) -> None:
+        self._down.discard(address)
+
+    # -- partitions -----------------------------------------------------------
+    def partition_azs(self, group_a: Iterable[AzId], group_b: Iterable[AzId]) -> None:
+        """Cut connectivity between two groups of AZs (split brain)."""
+        pair = (frozenset(group_a), frozenset(group_b))
+        if pair[0] & pair[1]:
+            raise NetworkError("partition groups overlap")
+        self._partitions.append(pair)
+        # In-flight RPCs across the cut observe a connection reset.
+        self._fail_pending(lambda src, dst: not self.reachable(src, dst))
+
+    def heal_partitions(self) -> None:
+        self._partitions.clear()
+
+    def reachable(self, src: NodeAddress, dst: NodeAddress) -> bool:
+        if src in self._down or dst in self._down:
+            return False
+        if not self._partitions:
+            return True
+        az_src, az_dst = self.topology.az_of(src), self.topology.az_of(dst)
+        for group_a, group_b in self._partitions:
+            if (az_src in group_a and az_dst in group_b) or (
+                az_src in group_b and az_dst in group_a
+            ):
+                return False
+        return True
+
+    # -- messaging ------------------------------------------------------------
+    def _latency(self, src: NodeAddress, dst: NodeAddress) -> float:
+        base = self.topology.latency(src, dst)
+        if self.jitter_frac and self.rng is not None:
+            base *= 1.0 + self.rng.uniform(-self.jitter_frac, self.jitter_frac)
+        return base
+
+    def _link_delay(self, message: Message) -> float:
+        """Queueing delay on the finite-bandwidth inter-AZ fabric, if any."""
+        if self.az_link_bandwidth is None:
+            return 0.0
+        src_az = self.topology.az_of(message.src)
+        dst_az = self.topology.az_of(message.dst)
+        if src_az == dst_az:
+            return 0.0
+        duration = message.size / self.az_link_bandwidth
+        start = max(self.env.now, self._fabric_drain_at)
+        self._fabric_drain_at = start + duration
+        return self._fabric_drain_at - self.env.now
+
+    def send(self, message: Message) -> None:
+        """Fire-and-forget delivery after the AZ-pair latency."""
+        message.send_time = self.env.now
+        if message.src in self._down:
+            self.dropped_messages += 1
+            return
+        delay = self._latency(message.src, message.dst) + self._link_delay(message)
+        timer = self.env.timeout(delay)
+        timer.callbacks.append(lambda _t, m=message: self._deliver(m))
+
+    def _deliver(self, message: Message) -> None:
+        if not self.reachable(message.src, message.dst):
+            self.dropped_messages += 1
+            if message.rpc_id is not None and not message.is_reply:
+                self._fail_rpc(message.rpc_id)
+            return
+        self.traffic.record(
+            message.src,
+            self.topology.az_of(message.src),
+            message.dst,
+            self.topology.az_of(message.dst),
+            message.size,
+        )
+        if message.is_reply:
+            self._complete_rpc(message)
+            return
+        mailbox = self._mailboxes.get(message.dst)
+        if mailbox is None:
+            self.dropped_messages += 1
+            if message.rpc_id is not None:
+                self._fail_rpc(message.rpc_id)
+            return
+        mailbox.put(message)
+
+    # -- RPC --------------------------------------------------------------------
+    def call(
+        self,
+        src: NodeAddress,
+        dst: NodeAddress,
+        kind: str,
+        payload: Any = None,
+        size: int = DEFAULT_MESSAGE_BYTES,
+    ) -> Event:
+        """Send a request; the returned event triggers with the reply payload.
+
+        Fails with :class:`HostUnreachableError` if the peer is (or becomes)
+        unreachable, or with the remote exception if the handler replied
+        with ``ok=False``.
+        """
+        rpc_id = next(self._rpc_ids)
+        done = self.env.event()
+        self._pending[rpc_id] = (done, src, dst)
+        self.send(Message(src=src, dst=dst, kind=kind, payload=payload, size=size, rpc_id=rpc_id))
+        return done
+
+    def reply(
+        self,
+        request: Message,
+        payload: Any = None,
+        ok: bool = True,
+        size: int = DEFAULT_MESSAGE_BYTES,
+    ) -> None:
+        """Send the reply for ``request`` back to its caller."""
+        if request.rpc_id is None:
+            raise NetworkError(f"message {request.kind!r} is not an RPC request")
+        self.send(
+            Message(
+                src=request.dst,
+                dst=request.src,
+                kind=request.kind,
+                payload=payload,
+                size=size,
+                rpc_id=request.rpc_id,
+                is_reply=True,
+                ok=ok,
+            )
+        )
+
+    def _complete_rpc(self, reply: Message) -> None:
+        entry = self._pending.pop(reply.rpc_id, None)
+        if entry is None:
+            return  # caller gave up / already failed
+        done, _src, _peer = entry
+        if done.triggered:
+            return
+        if reply.ok:
+            done.succeed(reply.payload)
+        else:
+            exc = reply.payload
+            if not isinstance(exc, BaseException):
+                exc = NetworkError(f"remote error: {exc!r}")
+            done.fail(exc)
+
+    def _fail_rpc(self, rpc_id: int) -> None:
+        entry = self._pending.pop(rpc_id, None)
+        if entry is None:
+            return
+        done, _src, peer = entry
+        if not done.triggered:
+            done.fail(HostUnreachableError(f"{peer} unreachable"))
+
+    def _fail_pending(self, severed) -> None:
+        doomed = [
+            rpc_id
+            for rpc_id, (_event, src, dst) in self._pending.items()
+            if severed(src, dst)
+        ]
+        for rpc_id in doomed:
+            self._fail_rpc(rpc_id)

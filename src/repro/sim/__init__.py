@@ -1,0 +1,29 @@
+"""Deterministic discrete-event simulation substrate."""
+
+from .kernel import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Timeout,
+)
+from .resources import CorePool, Disk, Store
+from .rng import RngRegistry
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Environment",
+    "Event",
+    "Interrupt",
+    "Process",
+    "SimulationError",
+    "Timeout",
+    "CorePool",
+    "Disk",
+    "Store",
+    "RngRegistry",
+]

@@ -1,0 +1,373 @@
+"""Deterministic discrete-event simulation kernel.
+
+The kernel is a small, dependency-free engine in the style of SimPy:
+simulated *processes* are Python generators that ``yield`` events
+(timeouts, other processes, store gets, ...) and are resumed when those
+events trigger.  Determinism is guaranteed by ordering scheduled events by
+``(time, priority, sequence)`` where ``sequence`` is a monotonically
+increasing counter, so two runs with the same seed replay identically.
+
+Time is a float in **milliseconds** throughout the repository; the paper's
+latency tables are given in milliseconds, which makes traces easy to read.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Timeout",
+    "Process",
+    "Interrupt",
+    "AllOf",
+    "AnyOf",
+    "PRIORITY_URGENT",
+    "PRIORITY_NORMAL",
+    "SimulationError",
+]
+
+PRIORITY_URGENT = 0
+PRIORITY_NORMAL = 1
+
+# Sentinel distinguishing "no value yet" from a legitimate ``None`` value.
+_PENDING = object()
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel-level misuse (e.g. yielding a non-event)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process when :meth:`Process.interrupt` is called.
+
+    The ``cause`` attribute carries the value passed to ``interrupt``.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    An event is *triggered* when it has been scheduled to fire (either with
+    a success value or a failure exception) and *processed* once its
+    callbacks have run.  Waiting on an already-processed event resumes the
+    waiter immediately (on the next scheduling step).
+    """
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = _PENDING
+        self._ok: bool = True
+        # Set when a failure was handled by at least one waiter (or marked
+        # defused); unhandled failures propagate out of ``Environment.run``.
+        self._defused = False
+
+    # -- state ------------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        if not self.triggered:
+            raise SimulationError("event value not yet available")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if self._value is _PENDING:
+            raise SimulationError("event value not yet available")
+        return self._value
+
+    # -- triggering -------------------------------------------------------
+    def succeed(self, value: Any = None, priority: int = PRIORITY_NORMAL) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self.env._schedule(self, priority=priority)
+        return self
+
+    def fail(self, exception: BaseException, priority: int = PRIORITY_NORMAL) -> "Event":
+        """Trigger the event as failed; waiters see ``exception`` raised."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        if not isinstance(exception, BaseException):
+            raise SimulationError("fail() requires an exception instance")
+        self._ok = False
+        self._value = exception
+        self.env._schedule(self, priority=priority)
+        return self
+
+    def defuse(self) -> None:
+        """Mark a failure as handled so it does not crash the run."""
+        self._defused = True
+
+    def __repr__(self) -> str:
+        state = "processed" if self.processed else ("triggered" if self.triggered else "pending")
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` time units after creation."""
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay {delay!r}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env._schedule(self, delay=delay)
+
+    @property
+    def triggered(self) -> bool:  # a timeout is triggered at creation
+        return True
+
+
+class _ConditionBase(Event):
+    """Shared machinery for :class:`AllOf` / :class:`AnyOf`."""
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env)
+        self.events = tuple(events)
+        for event in self.events:
+            if event.env is not env:
+                raise SimulationError("conditions cannot mix environments")
+        self._pending = len(self.events)
+        for event in self.events:
+            if self.triggered:
+                break
+            if event.processed:
+                self._observe(event)
+            else:
+                event.callbacks.append(self._observe)
+        if not self.triggered:
+            self._check_vacuous()
+
+    def _observe(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            event.defuse()
+            self.fail(event.value)
+            return
+        self._pending -= 1
+        self._on_success(event)
+
+    def _collect(self) -> dict[Event, Any]:
+        return {e: e.value for e in self.events if e.processed and e._ok}
+
+    def _on_success(self, event: Event) -> None:
+        raise NotImplementedError
+
+    def _check_vacuous(self) -> None:
+        raise NotImplementedError
+
+
+class AllOf(_ConditionBase):
+    """Triggers once every given event has succeeded (fails fast)."""
+
+    def _on_success(self, event: Event) -> None:
+        if self._pending == 0:
+            self.succeed(self._collect())
+
+    def _check_vacuous(self) -> None:
+        if not self.events:
+            self.succeed({})
+
+
+class AnyOf(_ConditionBase):
+    """Triggers as soon as any given event succeeds (fails fast)."""
+
+    def _on_success(self, event: Event) -> None:
+        self.succeed(self._collect())
+
+    def _check_vacuous(self) -> None:
+        if not self.events:
+            self.succeed({})
+
+
+class Process(Event):
+    """Wraps a generator; the process is itself an event other code can wait
+    on, triggered with the generator's return value."""
+
+    def __init__(self, env: "Environment", generator: Generator, name: str = ""):
+        if not hasattr(generator, "send"):
+            raise SimulationError(f"process requires a generator, got {generator!r}")
+        super().__init__(env)
+        self._generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._waiting_on: Optional[Event] = None
+        # Bootstrap: resume the process at the current time.
+        bootstrap = Event(env)
+        bootstrap.succeed()
+        bootstrap.callbacks.append(self._resume)
+        self._waiting_on = bootstrap
+
+    @property
+    def is_alive(self) -> bool:
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if self.triggered:
+            raise SimulationError(f"cannot interrupt finished process {self.name}")
+        if self._waiting_on is None:
+            raise SimulationError(f"cannot interrupt {self.name} during its own execution")
+        poke = Event(self.env)
+        poke._interrupt_cause = Interrupt(cause)  # type: ignore[attr-defined]
+        poke.succeed(priority=PRIORITY_URGENT)
+        poke.callbacks.append(self._resume)
+
+    def _resume(self, trigger: Event) -> None:
+        interrupt = getattr(trigger, "_interrupt_cause", None)
+        if interrupt is not None and self.triggered:
+            return  # process finished before the interrupt was delivered
+        # Detach from whatever we were waiting on (relevant for interrupts).
+        waited = self._waiting_on
+        if interrupt is not None and waited is not None and not waited.processed:
+            try:
+                waited.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._waiting_on = None
+        self.env._active_process = self
+        try:
+            if interrupt is not None:
+                target = self._generator.throw(interrupt)
+            elif trigger._ok:
+                target = self._generator.send(trigger.value)
+            else:
+                trigger.defuse()
+                target = self._generator.throw(trigger.value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            self.fail(exc)
+            return
+        finally:
+            self.env._active_process = None
+        if not isinstance(target, Event):
+            error = SimulationError(
+                f"process {self.name!r} yielded non-event {target!r}"
+            )
+            self._generator.throw(error)
+            raise error
+        self._waiting_on = target
+        if target.processed:
+            # Already-processed events resume the waiter via a fresh wakeup.
+            wakeup = Event(self.env)
+            if target._ok:
+                wakeup.succeed(target.value)
+            else:
+                target.defuse()
+                wakeup.fail(target.value)
+            wakeup.callbacks.append(self._resume)
+            self._waiting_on = wakeup
+        else:
+            target.callbacks.append(self._resume)
+
+
+class Environment:
+    """The simulation clock and event queue."""
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = initial_time
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._seq = 0
+        self._active_process: Optional[Process] = None
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        return self._active_process
+
+    # -- factories --------------------------------------------------------
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- scheduling -------------------------------------------------------
+    def _schedule(self, event: Event, delay: float = 0.0, priority: int = PRIORITY_NORMAL) -> None:
+        self._seq += 1
+        heapq.heappush(self._queue, (self._now + delay, priority, self._seq, event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if the queue is empty."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process the single next event."""
+        if not self._queue:
+            raise SimulationError("step() on an empty schedule")
+        when, _priority, _seq, event = heapq.heappop(self._queue)
+        self._now = when
+        callbacks = event.callbacks
+        event.callbacks = None
+        assert callbacks is not None
+        for callback in callbacks:
+            callback(event)
+        if not event._ok and not event._defused and not callbacks:
+            raise event.value
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until the queue drains or simulated time reaches ``until``.
+
+        Returns the simulation time at which the run stopped.
+        """
+        if until is not None and until < self._now:
+            raise SimulationError(f"run(until={until}) is in the past (now={self._now})")
+        while self._queue:
+            if until is not None and self.peek() > until:
+                self._now = until
+                return self._now
+            self.step()
+        if until is not None:
+            self._now = until
+        return self._now
+
+    def run_process(self, generator: Generator, until: Optional[float] = None) -> Any:
+        """Convenience: spawn ``generator`` and run until it finishes.
+
+        Returns the process's return value.  Raises if the process failed or
+        did not complete before ``until``.
+        """
+        proc = self.process(generator)
+        while not proc.triggered:
+            if not self._queue:
+                raise SimulationError("process deadlocked: event queue drained")
+            if until is not None and self.peek() > until:
+                raise SimulationError(f"process did not finish by t={until}")
+            self.step()
+        if not proc._ok:
+            proc.defuse()
+            raise proc.value
+        return proc.value

@@ -1,0 +1,153 @@
+"""Simulation resources: CPU pools, FIFO stores and disks.
+
+These are deliberately lightweight (callback-driven, no generator per job)
+because the benchmark harness pushes hundreds of thousands of jobs through
+them per run.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque
+
+from .kernel import Environment, Event
+
+__all__ = ["CorePool", "Store", "Disk"]
+
+
+class CorePool:
+    """A pool of identical CPU cores with a shared FIFO run queue.
+
+    ``submit(cost)`` returns an event that triggers once a core has executed
+    the job for ``cost`` milliseconds.  Busy time is accumulated for
+    utilization reporting (see :mod:`repro.metrics.utilization`).
+    """
+
+    def __init__(self, env: Environment, cores: int, name: str = "cpu"):
+        if cores < 1:
+            raise ValueError(f"CorePool needs >=1 core, got {cores}")
+        self.env = env
+        self.cores = cores
+        self.name = name
+        self.busy_time = 0.0
+        self.jobs_done = 0
+        self._free = cores
+        self._pending: Deque[tuple[float, Event]] = deque()
+
+    def submit(self, cost: float) -> Event:
+        """Enqueue a job costing ``cost`` ms of CPU; returns its done-event."""
+        if cost < 0:
+            raise ValueError(f"negative CPU cost {cost}")
+        done = self.env.event()
+        if self._free > 0:
+            self._start(cost, done)
+        else:
+            self._pending.append((cost, done))
+        return done
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._pending)
+
+    @property
+    def in_service(self) -> int:
+        return self.cores - self._free
+
+    def _start(self, cost: float, done: Event) -> None:
+        self._free -= 1
+        timer = self.env.timeout(cost)
+        timer.callbacks.append(lambda _t, c=cost, d=done: self._complete(c, d))
+
+    def _complete(self, cost: float, done: Event) -> None:
+        self.busy_time += cost
+        self.jobs_done += 1
+        done.succeed()
+        if self._pending:
+            next_cost, next_done = self._pending.popleft()
+            # The freed core immediately picks up the next queued job.
+            self._free += 1
+            self._start(next_cost, next_done)
+        else:
+            self._free += 1
+
+    def utilization(self, window: float, busy_at_window_start: float = 0.0) -> float:
+        """Fraction of core-time busy over ``window`` ms."""
+        if window <= 0:
+            return 0.0
+        return (self.busy_time - busy_at_window_start) / (self.cores * window)
+
+
+class Store:
+    """Unbounded FIFO message store (a mailbox between processes)."""
+
+    def __init__(self, env: Environment, name: str = "store"):
+        self.env = env
+        self.name = name
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+
+    def put(self, item: Any) -> None:
+        """Deposit ``item``; wakes the oldest waiting getter, if any."""
+        while self._getters:
+            getter = self._getters.popleft()
+            if not getter.triggered:  # skip cancelled/raced getters
+                getter.succeed(item)
+                return
+        self._items.append(item)
+
+    def get(self) -> Event:
+        """Return an event that triggers with the next item."""
+        event = self.env.event()
+        if self._items:
+            event.succeed(self._items.popleft())
+        else:
+            self._getters.append(event)
+        return event
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+
+class Disk:
+    """A disk with a fixed sequential bandwidth and a FIFO queue.
+
+    Used for the NDB redo log / checkpoints, the Ceph MDS journal, and OSD
+    object writes.  Bandwidth is in bytes per millisecond.
+    """
+
+    def __init__(self, env: Environment, bandwidth_bytes_per_ms: float, name: str = "disk"):
+        if bandwidth_bytes_per_ms <= 0:
+            raise ValueError("disk bandwidth must be positive")
+        self.env = env
+        self.name = name
+        self.bandwidth = bandwidth_bytes_per_ms
+        self.bytes_written = 0
+        self.bytes_read = 0
+        self.busy_time = 0.0
+        # Time at which the last queued transfer completes.
+        self._drain_at = 0.0
+
+    def _transfer(self, nbytes: int) -> Event:
+        duration = nbytes / self.bandwidth
+        start = max(self.env.now, self._drain_at)
+        self._drain_at = start + duration
+        self.busy_time += duration
+        done = self.env.event()
+        delay = self._drain_at - self.env.now
+        timer = self.env.timeout(delay)
+        timer.callbacks.append(lambda _t: done.succeed() if not done.triggered else None)
+        return done
+
+    def write(self, nbytes: int) -> Event:
+        """Queue a write; returns an event fired when it hits the platter."""
+        self.bytes_written += nbytes
+        return self._transfer(nbytes)
+
+    def read(self, nbytes: int) -> Event:
+        self.bytes_read += nbytes
+        return self._transfer(nbytes)
+
+    def utilization(self, window: float, busy_at_window_start: float = 0.0) -> float:
+        if window <= 0:
+            return 0.0
+        return min(1.0, (self.busy_time - busy_at_window_start) / window)

@@ -1,0 +1,30 @@
+"""Seeded random-number streams.
+
+Every stochastic component draws from its own named stream derived from the
+experiment seed, so adding a component never perturbs the draws of another
+(a classic reproducibility pitfall in simulation studies).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+
+__all__ = ["RngRegistry"]
+
+
+class RngRegistry:
+    """Hands out independent :class:`random.Random` streams by name."""
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+        self._streams: dict[str, random.Random] = {}
+
+    def stream(self, name: str) -> random.Random:
+        """Return the stream for ``name``, creating it deterministically."""
+        rng = self._streams.get(name)
+        if rng is None:
+            digest = hashlib.sha256(f"{self.seed}:{name}".encode()).digest()
+            rng = random.Random(int.from_bytes(digest[:8], "big"))
+            self._streams[name] = rng
+        return rng

@@ -1,0 +1,109 @@
+"""Common value types shared across layers."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = [
+    "AzId",
+    "ANY_AZ",
+    "NodeKind",
+    "NodeAddress",
+    "OpType",
+    "MUTATING_OPS",
+    "OpResult",
+]
+
+# Availability zones are small integers (1-based, 0 = "unset" per the paper's
+# locationDomainId convention: id 0 means "no AZ affinity").
+AzId = int
+ANY_AZ: AzId = 0
+
+
+class NodeKind(str, enum.Enum):
+    """Role of a simulated host (used in addresses and traces)."""
+
+    NDB_DATANODE = "ndbd"
+    NDB_MGMT = "ndb_mgmd"
+    NAMENODE = "nn"
+    DATANODE = "dn"
+    CLIENT = "client"
+    MDS = "mds"
+    OSD = "osd"
+    MON = "mon"
+
+
+@dataclass(frozen=True, order=True)
+class NodeAddress:
+    """Stable identity of a simulated host.
+
+    ``kind``/``index`` make traces readable (``nn3``, ``ndbd1``); equality
+    and hashing use the whole tuple so two layers can never collide.
+    """
+
+    kind: NodeKind
+    index: int
+
+    def __str__(self) -> str:
+        return f"{self.kind.value}{self.index}"
+
+
+class OpType(str, enum.Enum):
+    """File-system operation types used by workloads and metrics.
+
+    The set matches the operations reported for the Spotify workload in the
+    HopsFS (FAST'17) paper plus the microbenchmark ops of Fig. 7.
+    """
+
+    MKDIR = "mkdir"
+    MKDIRS = "mkdirs"
+    CREATE_FILE = "createFile"
+    READ_FILE = "readFile"
+    DELETE_FILE = "deleteFile"
+    STAT = "stat"
+    LIST_DIR = "listDir"
+    RENAME = "rename"
+    CHMOD = "chmod"
+    ADD_BLOCK = "addBlock"
+    COMPLETE_FILE = "completeFile"
+    EXISTS = "exists"
+    SET_REPLICATION = "setReplication"
+
+    @property
+    def mutates(self) -> bool:
+        return self in MUTATING_OPS
+
+
+MUTATING_OPS = frozenset(
+    {
+        OpType.MKDIR,
+        OpType.MKDIRS,
+        OpType.CREATE_FILE,
+        OpType.DELETE_FILE,
+        OpType.RENAME,
+        OpType.CHMOD,
+        OpType.ADD_BLOCK,
+        OpType.COMPLETE_FILE,
+        OpType.SET_REPLICATION,
+    }
+)
+
+
+@dataclass
+class OpResult:
+    """Outcome of one client operation, recorded by the workload driver."""
+
+    op: OpType
+    start_ms: float
+    end_ms: float
+    ok: bool = True
+    retries: int = 0
+    error: Optional[str] = None
+    served_by: Optional[NodeAddress] = None
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def latency_ms(self) -> float:
+        return self.end_ms - self.start_ms

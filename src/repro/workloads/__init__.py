@@ -1,0 +1,21 @@
+"""Workloads: namespace generation, the Spotify mix, and load drivers."""
+
+from .driver import ClosedLoopDriver, OpenLoopDriver
+from .namespace import Namespace, generate_namespace, install_cephfs, install_hopsfs
+from .spotify import SPOTIFY_MIX, SingleOpWorkload, SpotifyWorkload
+from .trace import TraceWorkload, parse_trace_line, write_trace
+
+__all__ = [
+    "ClosedLoopDriver",
+    "OpenLoopDriver",
+    "Namespace",
+    "generate_namespace",
+    "install_cephfs",
+    "install_hopsfs",
+    "SPOTIFY_MIX",
+    "SingleOpWorkload",
+    "SpotifyWorkload",
+    "TraceWorkload",
+    "parse_trace_line",
+    "write_trace",
+]

@@ -1,0 +1,115 @@
+"""Trace-file workloads: record and replay operation streams.
+
+The paper replays operational traces from Spotify's Hadoop cluster; the
+trace itself is proprietary, but this module gives the reproduction the
+same capability: record any workload run to a trace file (one op per
+line), and replay a trace file against any deployment.
+
+Trace format (text, one operation per line):
+
+    <op> <path> [<dst-path>]
+
+e.g. ::
+
+    createFile /proj1/dir3/part-0001
+    readFile   /proj1/dir3/part-0001
+    rename     /proj1/dir3/part-0001 /proj1/dir3/part-0001.done
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Optional, Union
+
+from ..errors import ReproError
+from ..types import OpType
+
+__all__ = ["TraceWorkload", "write_trace", "parse_trace_line", "format_trace_line"]
+
+_TWO_PATH_OPS = frozenset({OpType.RENAME})
+
+
+def format_trace_line(op: OpType, kwargs: dict) -> str:
+    if op in _TWO_PATH_OPS:
+        return f"{op.value} {kwargs['src']} {kwargs['dst']}"
+    return f"{op.value} {kwargs['path']}"
+
+
+def parse_trace_line(line: str) -> Optional[tuple[OpType, dict]]:
+    """Parse one trace line; returns None for blanks/comments."""
+    line = line.strip()
+    if not line or line.startswith("#"):
+        return None
+    parts = line.split()
+    try:
+        op = OpType(parts[0])
+    except ValueError:
+        raise ReproError(f"unknown trace operation {parts[0]!r}") from None
+    if op in _TWO_PATH_OPS:
+        if len(parts) != 3:
+            raise ReproError(f"{op.value} needs two paths: {line!r}")
+        return op, {"src": parts[1], "dst": parts[2]}
+    if len(parts) != 2:
+        raise ReproError(f"{op.value} needs one path: {line!r}")
+    kwargs = {"path": parts[1]}
+    if op is OpType.CREATE_FILE:
+        kwargs["data"] = b""
+    elif op is OpType.CHMOD:
+        kwargs["permission"] = 0o644  # payload args are not serialized
+    return op, kwargs
+
+
+def write_trace(path: Union[str, Path], ops: Iterable[tuple[OpType, dict]]) -> int:
+    """Write operations to a trace file; returns the number written."""
+    count = 0
+    with open(path, "w") as out:
+        for op, kwargs in ops:
+            out.write(format_trace_line(op, kwargs) + "\n")
+            count += 1
+    return count
+
+
+class TraceWorkload:
+    """Replays a trace file through the workload-driver interface.
+
+    Clients share one cursor: operations are handed out in trace order
+    regardless of which client asks, like a shared replay queue.  When the
+    trace is exhausted the workload either loops (``loop=True``) or keeps
+    returning the final op (keeping closed-loop drivers busy).
+    """
+
+    def __init__(self, source: Union[str, Path, Iterable[str]], loop: bool = True):
+        if isinstance(source, (str, Path)):
+            with open(source) as f:
+                lines = f.readlines()
+        else:
+            lines = list(source)
+        self.ops: list[tuple[OpType, dict]] = []
+        for line in lines:
+            parsed = parse_trace_line(line)
+            if parsed is not None:
+                self.ops.append(parsed)
+        if not self.ops:
+            raise ReproError("empty trace")
+        self.loop = loop
+        self._cursor = 0
+        self.replayed = 0
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    @property
+    def exhausted(self) -> bool:
+        return not self.loop and self._cursor >= len(self.ops)
+
+    def next_op(self, client_id=None) -> tuple[OpType, dict]:
+        if self._cursor >= len(self.ops):
+            if self.loop:
+                self._cursor = 0
+            else:
+                op, kwargs = self.ops[-1]
+                return op, dict(kwargs)
+        op, kwargs = self.ops[self._cursor]
+        self._cursor += 1
+        self.replayed += 1
+        return op, dict(kwargs)

@@ -1,0 +1,209 @@
+"""Tests for the CephFS baseline model."""
+
+import pytest
+
+from repro.cephfs import CephConfig, SubtreePartitioner, build_cephfs
+from repro.errors import FileAlreadyExistsError, FileNotFoundFsError, FsError
+
+
+def run(cluster, generator, until=60_000):
+    return cluster.env.run_process(generator, until=until)
+
+
+@pytest.fixture
+def ceph():
+    return build_cephfs(num_mds=3)
+
+
+@pytest.fixture
+def client(ceph):
+    return ceph.client()
+
+
+def test_mkdir_create_read(ceph, client):
+    def scenario():
+        yield from client.mkdir("/top")
+        yield from client.create("/top/f", data=b"abc")
+        inode = yield from client.read("/top/f")
+        return inode
+
+    inode = run(ceph, scenario())
+    assert not inode.is_dir
+    assert inode.size == 3
+
+
+def test_duplicate_create_fails(ceph, client):
+    def scenario():
+        yield from client.mkdir("/d")
+        yield from client.create("/d/f")
+        with pytest.raises(FileAlreadyExistsError):
+            yield from client.create("/d/f")
+        return True
+
+    assert run(ceph, scenario())
+
+
+def test_read_missing_fails(ceph, client):
+    def scenario():
+        with pytest.raises(FileNotFoundFsError):
+            yield from client.read("/nope")
+        return True
+
+    assert run(ceph, scenario())
+
+
+def test_listdir_and_delete(ceph, client):
+    def scenario():
+        yield from client.mkdir("/d")
+        for name in ("a", "b"):
+            yield from client.create(f"/d/{name}")
+        names = yield from client.listdir("/d")
+        yield from client.delete("/d", recursive=True)
+        gone = yield from client.exists("/d")
+        return names, gone
+
+    assert run(ceph, scenario()) == (["a", "b"], False)
+
+
+def test_rename_within_subtree(ceph, client):
+    def scenario():
+        yield from client.mkdir("/t")
+        yield from client.create("/t/a")
+        yield from client.rename("/t/a", "/t/b")
+        a = yield from client.exists("/t/a")
+        b = yield from client.exists("/t/b")
+        return a, b
+
+    assert run(ceph, scenario()) == (False, True)
+
+
+def test_kernel_cache_serves_repeat_reads(ceph, client):
+    def scenario():
+        yield from client.mkdir("/c")
+        yield from client.create("/c/f", data=b"x")
+        for _ in range(10):
+            yield from client.read("/c/f")
+        return client.cache_hits, client.cache_misses
+
+    hits, misses = run(ceph, scenario())
+    assert misses == 1
+    assert hits == 9
+
+
+def test_skip_kcache_always_hits_mds():
+    ceph = build_cephfs(num_mds=2, config=CephConfig(kclient_cache=False))
+    client = ceph.client()
+
+    def scenario():
+        yield from client.mkdir("/c")
+        yield from client.create("/c/f")
+        for _ in range(5):
+            yield from client.stat("/c/f")
+        return client.cache_hits
+
+    assert run(ceph, scenario()) == 0
+    # Without the dentry cache each op pays per-component MDS lookups:
+    # mkdir /c (1), create /c/f (1 lookup + 1), 5 x stat /c/f (1 lookup + 1).
+    assert sum(m.ops_served for m in ceph.mds_list) == 13
+
+
+def test_capability_revoked_on_mutation():
+    """Another client's chmod invalidates the cached capability."""
+    ceph = build_cephfs(num_mds=2)
+    reader, writer = ceph.client(), ceph.client()
+
+    def scenario():
+        yield from reader.mkdir("/c")
+        yield from reader.create("/c/f")
+        inode1 = yield from reader.read("/c/f")
+        yield from writer.chmod("/c/f")
+        yield ceph.env.timeout(5)  # let the revoke message arrive
+        assert "/c/f" not in reader.cache
+        inode2 = yield from reader.read("/c/f")
+        return inode1.version, inode2.version
+
+    v1, v2 = run(ceph, scenario())
+    assert v2 > v1
+
+
+def test_mds_single_threaded_serializes():
+    """Concurrent ops on one MDS queue behind its single thread."""
+    ceph = build_cephfs(num_mds=1)
+    clients = [ceph.client() for _ in range(8)]
+    done_times = []
+
+    def worker(c, i):
+        yield from c.create(f"/solo-{i}")  # all in '/' -> rank 0
+        done_times.append(ceph.env.now)
+
+    def scenario():
+        procs = [ceph.env.process(worker(c, i)) for i, c in enumerate(clients)]
+        for p in procs:
+            yield p
+        return done_times
+
+    times = run(ceph, scenario())
+    # The 8 ops complete staggered by >= the MDS op cost, not in parallel.
+    spread = max(times) - min(times)
+    assert spread >= ceph.config.mds_op_cost_ms * 6
+
+
+def test_journal_flushes_to_replicated_osds(ceph, client):
+    def scenario():
+        yield from client.mkdir("/j")
+        for i in range(20):
+            yield from client.create(f"/j/f{i}")
+        yield ceph.env.timeout(100)  # several flush intervals
+        return sum(mds.journal_flushes for mds in ceph.mds_list)
+
+    flushes = run(ceph, scenario())
+    assert flushes >= 1
+    written = sum(osd.disk.bytes_written for osd in ceph.osds)
+    # 21 mutations x 1536 bytes x 3 replicas
+    assert written == 21 * 1536 * 3
+
+
+def test_journal_targets_distinct():
+    ceph = build_cephfs(num_mds=2)
+    for seq in range(10):
+        targets = ceph.journal_targets(0, seq)
+        assert len(set(targets)) == 3
+
+
+def test_partitioner_dynamic_imbalanced_vs_pinned_balanced():
+    subtrees = [f"/top{i}/sub{j}" for i in range(4) for j in range(16)]
+    paths = [f"{d}/f" for d in subtrees]
+    dynamic = SubtreePartitioner(16, pinned=False)
+    pinned = SubtreePartitioner(16, pinned=True)
+    pinned.pin(subtrees)
+    dyn = dynamic.authority_counts(paths)
+    pin = pinned.authority_counts(paths)
+    # Pinned: 64 subtrees round-robin over 16 ranks -> exactly 4 each.
+    assert sorted(pin.values()) == [4] * 16
+    # Dynamic hashing is imbalanced: some rank gets more than its share.
+    assert max(dyn.values()) > 4
+
+
+def test_rank_follows_containing_directory():
+    p = SubtreePartitioner(8, pinned=False)
+    # A file and a listing of its directory are served by the same rank.
+    assert p.rank_of("/a/b/file") == p.dir_rank("/a/b")
+    # Deep paths collapse to the second-level subtree.
+    assert p.rank_of("/a/b/c/d/e") == p.dir_rank("/a/b")
+
+
+def test_dir_pinned_balances_load():
+    config = CephConfig(dir_pinning=True)
+    ceph = build_cephfs(num_mds=4, config=config)
+    client = ceph.client()
+
+    def scenario():
+        yield from client.mkdir("/data")
+        for j in range(16):
+            yield from client.mkdir(f"/data/d{j}")
+            yield from client.create(f"/data/d{j}/f")
+        return [m.ops_served for m in ceph.mds_list]
+
+    served = run(ceph, scenario())
+    assert sum(served) == 33
+    assert sum(1 for s in served if s > 0) >= 3  # spread across ranks

@@ -1,0 +1,73 @@
+"""CephFS failure and robustness paths."""
+
+import pytest
+
+from repro.cephfs import CephConfig, build_cephfs
+from repro.errors import NoNamenodeError
+
+
+def run(cluster, generator, until=60_000):
+    return cluster.env.run_process(generator, until=until)
+
+
+def test_mds_shutdown_makes_subtree_unavailable():
+    ceph = build_cephfs(num_mds=2)
+    client = ceph.client()
+
+    def scenario():
+        yield from client.mkdir("/x")
+        rank = ceph.partitioner.rank_of("/x")
+        ceph.mds_list[rank % 2].shutdown()
+        with pytest.raises(NoNamenodeError):
+            yield from client.stat("/x")
+        return True
+
+    assert run(ceph, scenario())
+
+
+def test_osd_failure_does_not_stop_mds():
+    """A dead OSD only stalls journal flushes; serving continues."""
+    ceph = build_cephfs(num_mds=2)
+    client = ceph.client()
+
+    def scenario():
+        yield from client.mkdir("/d")
+        for osd in ceph.osds:
+            osd.shutdown()
+        for i in range(5):
+            yield from client.create(f"/d/f{i}")
+        yield ceph.env.timeout(50)  # journal flushes fail, MDS keeps going
+        listing = yield from client.listdir("/d")
+        return listing
+
+    listing = run(ceph, scenario())
+    assert listing == [f"f{i}" for i in range(5)]
+
+
+def test_osd_count_validation():
+    with pytest.raises(Exception):
+        CephConfig(num_osds=2, osd_replication=3)
+
+
+def test_mds_counts_served_ops():
+    ceph = build_cephfs(num_mds=1)
+    client = ceph.client()
+
+    def scenario():
+        yield from client.mkdir("/m")
+        yield from client.stat("/m")
+        yield from client.stat("/m")  # cache hit: not served by the MDS
+        return ceph.mds_list[0].ops_served
+
+    assert run(ceph, scenario()) == 2
+
+
+def test_cluster_uses_shared_network_when_given():
+    from repro.net import Network, build_us_west1
+    from repro.sim import Environment
+
+    env = Environment()
+    network = Network(env, build_us_west1())
+    ceph = build_cephfs(num_mds=1, env=env, network=network)
+    assert ceph.network is network
+    assert ceph.env is env

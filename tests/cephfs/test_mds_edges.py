@@ -1,0 +1,88 @@
+"""MDS edge cases not covered elsewhere."""
+
+import pytest
+
+from repro.cephfs import build_cephfs
+from repro.errors import FsError, NotDirectoryError
+
+
+def run(cluster, generator, until=60_000):
+    return cluster.env.run_process(generator, until=until)
+
+
+def test_cross_subtree_rename_unsupported():
+    ceph = build_cephfs(num_mds=4)
+    client = ceph.client()
+
+    def scenario():
+        # find two second-level dirs with different authoritative ranks
+        yield from client.mkdir("/top")
+        src_dir = dst_dir = None
+        for i in range(32):
+            path = f"/top/d{i}"
+            yield from client.mkdir(path)
+            if src_dir is None:
+                src_dir = path
+            elif ceph.partitioner.dir_rank(path) != ceph.partitioner.dir_rank(src_dir):
+                dst_dir = path
+                break
+        assert dst_dir is not None
+        yield from client.create(f"{src_dir}/f")
+        with pytest.raises(FsError):
+            yield from client.rename(f"{src_dir}/f", f"{dst_dir}/f")
+        return True
+
+    assert run(ceph, scenario())
+
+
+def test_mkdir_under_file_fails():
+    ceph = build_cephfs(num_mds=2)
+    client = ceph.client()
+
+    def scenario():
+        yield from client.mkdir("/d")
+        yield from client.create("/d/f")
+        with pytest.raises((NotDirectoryError, FsError)):
+            yield from client.mkdir("/d/f/sub")
+        return True
+
+    assert run(ceph, scenario())
+
+
+def test_chmod_missing_raises():
+    ceph = build_cephfs(num_mds=2)
+    client = ceph.client()
+
+    def scenario():
+        with pytest.raises(FsError):
+            yield from client.chmod("/ghost")
+        return True
+
+    assert run(ceph, scenario())
+
+
+def test_unsupported_op_rejected():
+    from repro.types import OpType
+
+    ceph = build_cephfs(num_mds=1)
+    client = ceph.client()
+
+    def scenario():
+        with pytest.raises(FsError):
+            yield from client.op(OpType.ADD_BLOCK, path="/x")
+        return True
+
+    assert run(ceph, scenario())
+
+
+def test_read_directory_rejected():
+    ceph = build_cephfs(num_mds=2)
+    client = ceph.client()
+
+    def scenario():
+        yield from client.mkdir("/d")
+        with pytest.raises(FsError):
+            yield from client.read("/d")
+        return True
+
+    assert run(ceph, scenario())

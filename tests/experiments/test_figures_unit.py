@@ -1,0 +1,50 @@
+"""Unit-level tests of the figure drivers (tiny grids, no big sweeps)."""
+
+import pytest
+
+from repro.experiments import figures
+from repro.net import US_WEST1_AZS
+
+
+def test_table1_shape():
+    table = figures.table1()
+    assert table.headers[1:] == list(US_WEST1_AZS)
+    assert len(table.rows) == 3
+    for row in table.rows:
+        assert len(row) == 4
+
+
+def test_table2_contains_all_thread_types():
+    table = figures.table2()
+    names = {row[0] for row in table.rows}
+    assert {"LDM", "TC", "RECV", "SEND", "REP", "IO", "MAIN", "total"} <= names
+
+
+def test_sweep_is_cached():
+    grid = [1]
+    first = figures.sweep(["HopsFS (2,1)"], grid)
+    second = figures.sweep(["HopsFS (2,1)"], grid)
+    key = ("HopsFS (2,1)", 1)
+    assert first[key] is second[key]
+
+
+def test_fig5_uses_sweep_cache():
+    table = figures.fig5(grid=[1])
+    assert table.headers == ["setup", "1"]
+    assert len(table.rows) == 9
+    tput = {row[0]: row[1] for row in table.rows}
+    assert all(v > 0 for v in tput.values())
+
+
+def test_fig8_same_grid_no_new_runs():
+    before = dict(figures._SWEEP_CACHE)
+    table = figures.fig8(grid=[1])
+    assert len(table.rows) == 9
+    # everything was already cached by test_fig5_uses_sweep_cache
+    assert set(figures._SWEEP_CACHE) == set(before)
+
+
+def test_fig11_thread_rows():
+    table = figures.fig11(grid=[1])
+    threads = [row[0] for row in table.rows]
+    assert threads == ["LDM", "TC", "RECV", "SEND", "REP", "IO", "MAIN"]

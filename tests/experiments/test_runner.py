@@ -1,0 +1,92 @@
+"""Smoke tests for the experiment harness (tiny configurations)."""
+
+import pytest
+
+from repro.experiments import SETUPS, RunConfig, run_point
+from repro.experiments.runner import server_grid
+from repro.types import OpType
+
+_QUICK = RunConfig(
+    clients_per_server=8,
+    warmup_ms=4.0,
+    window_ms=6.0,
+    namespace_top_dirs=2,
+    namespace_dirs_per_top=4,
+    namespace_files_per_dir=6,
+)
+
+
+def test_setups_registry_complete():
+    assert len(SETUPS) == 9
+    for name, spec in SETUPS.items():
+        assert spec.name == name
+    assert SETUPS["HopsFS (2,1)"].azs == (2,)
+    assert SETUPS["HopsFS-CL (3,3)"].az_aware
+    assert SETUPS["CephFS - DirPinned"].dir_pinning
+    assert not SETUPS["CephFS - SkipKCache"].kclient_cache
+
+
+def test_server_grid_modes(monkeypatch):
+    monkeypatch.delenv("REPRO_BENCH_FULL", raising=False)
+    assert server_grid() == [1, 6, 24, 60]
+    monkeypatch.setenv("REPRO_BENCH_FULL", "1")
+    assert server_grid() == [1, 6, 12, 18, 24, 36, 48, 60]
+
+
+def test_run_point_hopsfs_produces_throughput():
+    point = run_point("HopsFS (2,1)", 2, config=_QUICK)
+    assert point.completed > 0
+    assert point.throughput_ops_s > 0
+    assert point.avg_latency_ms > 0
+    assert point.p50_ms <= point.p99_ms
+    assert point.resource.window_ms == pytest.approx(6.0)
+
+
+def test_run_point_cl_lower_cross_az_than_vanilla():
+    vanilla = run_point("HopsFS (3,3)", 2, config=_QUICK)
+    cl = run_point("HopsFS-CL (3,3)", 2, config=_QUICK)
+    assert cl.resource.cross_az_mb < vanilla.resource.cross_az_mb
+
+
+def test_run_point_cephfs():
+    point = run_point("CephFS", 2, config=_QUICK)
+    assert point.completed > 0
+    assert point.mds_requests_s is not None
+
+
+def test_run_point_single_op():
+    point = run_point(
+        "HopsFS (2,1)", 2, workload="single", op=OpType.CREATE_FILE, config=_QUICK
+    )
+    assert point.completed > 0
+
+
+def test_run_point_delete_microbench_precreates():
+    point = run_point(
+        "HopsFS (2,1)", 2, workload="single", op=OpType.DELETE_FILE, config=_QUICK
+    )
+    assert point.completed > 0
+    assert point.failed == 0  # every delete found its pre-created victim
+
+
+def test_run_point_open_loop():
+    config = RunConfig(**{**_QUICK.__dict__, "open_loop_rate_per_ms": 2.0})
+    point = run_point("HopsFS (2,1)", 2, config=config)
+    # ~2 ops/ms over the 6ms window
+    assert point.completed == pytest.approx(12, abs=6)
+
+
+def test_determinism_same_seed_same_result():
+    a = run_point("HopsFS (2,1)", 2, config=_QUICK)
+    b = run_point("HopsFS (2,1)", 2, config=_QUICK)
+    assert a.completed == b.completed
+    assert a.throughput_ops_s == b.throughput_ops_s
+    assert a.avg_latency_ms == b.avg_latency_ms
+
+
+def test_different_seed_different_stream():
+    config2 = RunConfig(**{**_QUICK.__dict__, "seed": 99})
+    a = run_point("HopsFS (2,1)", 2, config=_QUICK)
+    b = run_point("HopsFS (2,1)", 2, config=config2)
+    # identical results across different seeds would suggest a frozen RNG
+    assert (a.completed, a.avg_latency_ms) != (b.completed, b.avg_latency_ms)

@@ -1,0 +1,61 @@
+"""Shared fixtures for HopsFS tests: small deployments, fast elections."""
+
+import pytest
+
+from repro.hopsfs import HopsFsConfig, build_hopsfs
+from repro.ndb import NdbConfig
+
+
+def make_fs(
+    num_namenodes=2,
+    azs=(2,),
+    az_aware=False,
+    ndb_replication=2,
+    num_ndb_datanodes=4,
+    num_block_datanodes=0,
+    election=True,
+    heartbeats=False,
+    seed=0,
+    election_period_ms=50.0,
+    **ndb_kwargs,
+):
+    """A small, fast deployment for functional tests."""
+    config = HopsFsConfig(
+        election_period_ms=election_period_ms,
+        dn_heartbeat_interval_ms=20.0,
+        # Tiny CPU costs: functional tests care about semantics, not load.
+        op_cost_read_ms=0.001,
+        op_cost_mutation_ms=0.001,
+    )
+    ndb_config = NdbConfig(
+        num_datanodes=num_ndb_datanodes,
+        replication=ndb_replication,
+        az_aware=az_aware,
+        num_partitions=16,
+        **ndb_kwargs,
+    )
+    return build_hopsfs(
+        num_namenodes=num_namenodes,
+        azs=azs,
+        az_aware=az_aware,
+        num_block_datanodes=num_block_datanodes,
+        hopsfs_config=config,
+        ndb_config=ndb_config,
+        election=election,
+        heartbeats=heartbeats,
+        seed=seed,
+    )
+
+
+def run(fs, generator, until=60_000):
+    return fs.env.run_process(generator, until=until)
+
+
+@pytest.fixture
+def fs():
+    return make_fs()
+
+
+@pytest.fixture
+def client(fs):
+    return fs.client()

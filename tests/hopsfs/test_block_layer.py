@@ -1,0 +1,154 @@
+"""Block storage layer: placement, pipelines, failures, re-replication."""
+
+import random
+
+import pytest
+
+from repro.errors import PlacementError
+from repro.hopsfs import SMALL_FILE_MAX_BYTES, PlacementPolicy, choose_targets
+from repro.types import NodeAddress, NodeKind
+
+from .conftest import make_fs, run
+
+
+def _dns(azs):
+    return {
+        NodeAddress(NodeKind.DATANODE, i + 1): az for i, az in enumerate(azs)
+    }
+
+
+def test_choose_targets_distinct():
+    rng = random.Random(1)
+    dns = _dns([1, 1, 2, 2, 3, 3])
+    targets = choose_targets(dns, PlacementPolicy.DEFAULT, 1, 3, rng)
+    assert len(set(targets)) == 3
+
+
+def test_az_aware_placement_spans_azs():
+    rng = random.Random(1)
+    dns = _dns([1, 1, 2, 2, 3, 3])
+    for _ in range(20):
+        targets = choose_targets(dns, PlacementPolicy.AZ_AWARE, 2, 3, rng)
+        azs = {dns[t] for t in targets}
+        assert azs == {1, 2, 3}  # one replica per AZ with R=3 over 3 AZs
+        assert dns[targets[0]] == 2  # first replica writer-local
+
+
+def test_az_aware_placement_with_two_azs():
+    rng = random.Random(1)
+    dns = _dns([1, 1, 1, 2, 2, 2])
+    for _ in range(20):
+        targets = choose_targets(dns, PlacementPolicy.AZ_AWARE, 1, 3, rng)
+        azs = {dns[t] for t in targets}
+        assert azs == {1, 2}  # at least one replica in the other AZ
+
+
+def test_placement_insufficient_nodes_raises():
+    rng = random.Random(1)
+    with pytest.raises(PlacementError):
+        choose_targets(_dns([1, 2]), PlacementPolicy.DEFAULT, 1, 3, rng)
+
+
+def test_large_file_write_and_read():
+    fs = make_fs(num_block_datanodes=3, election_period_ms=20.0)
+    client = fs.client()
+    size = SMALL_FILE_MAX_BYTES + 1000  # forces the block path
+
+    def scenario():
+        yield from fs.await_election()
+        yield fs.env.timeout(50)  # DN heartbeats register with the NNs
+        yield from client.create("/big", data=b"x" * size)
+        content = yield from client.read("/big")
+        return content
+
+    content = run(fs, scenario())
+    assert not content.is_small
+    assert len(content.blocks) == 1
+    assert content.inode.size == size
+    assert len(content.blocks[0].locations) == 3
+
+
+def test_block_replicas_on_datanodes():
+    fs = make_fs(num_block_datanodes=3, election_period_ms=20.0)
+    client = fs.client()
+    size = SMALL_FILE_MAX_BYTES * 2
+
+    def scenario():
+        yield from fs.await_election()
+        yield fs.env.timeout(50)
+        yield from client.create("/big", data=b"x" * size)
+        content = yield from client.read("/big")
+        block_id = content.blocks[0].block_id
+        holders = [dn for dn in fs.block_datanodes if block_id in dn.blocks]
+        return len(holders)
+
+    assert run(fs, scenario()) == 3
+
+
+def test_az_aware_block_placement_spans_azs_end_to_end():
+    fs = make_fs(
+        num_namenodes=3,
+        azs=(1, 2, 3),
+        az_aware=True,
+        num_block_datanodes=6,
+        election_period_ms=20.0,
+    )
+    client = fs.client(az=1)
+    size = SMALL_FILE_MAX_BYTES + 1
+
+    def scenario():
+        yield from fs.await_election()
+        yield fs.env.timeout(100)
+        yield from client.create("/big", data=b"x" * size)
+        content = yield from client.read("/big")
+        return content.blocks[0].locations
+
+    locations = run(fs, scenario())
+    azs = {fs.topology.az_of(a) for a in locations}
+    assert azs == {1, 2, 3}
+
+
+def test_rereplication_after_dn_failure():
+    """Section IV-C2: the leader restores the replication level."""
+    fs = make_fs(num_block_datanodes=4, election_period_ms=20.0)
+    client = fs.client()
+    size = SMALL_FILE_MAX_BYTES + 1
+
+    def scenario():
+        yield from fs.await_election()
+        yield fs.env.timeout(100)
+        yield from client.create("/big", data=b"x" * size)
+        content = yield from client.read("/big")
+        block_id = content.blocks[0].block_id
+        victim_addr = content.blocks[0].locations[0]
+        victim = next(dn for dn in fs.block_datanodes if dn.addr == victim_addr)
+        victim.shutdown()
+        # DN heartbeat interval is 20ms, missed*3 => detection ~60ms; copy after.
+        yield fs.env.timeout(1000)
+        holders = [
+            dn for dn in fs.block_datanodes if dn.running and block_id in dn.blocks
+        ]
+        return len(holders)
+
+    assert run(fs, scenario()) == 3
+    leader = fs.leader_namenode()
+    assert leader.block_manager.rereplications >= 1
+
+
+def test_lease_enforced_for_add_block():
+    fs = make_fs(num_block_datanodes=3, election_period_ms=20.0)
+    client = fs.client()
+
+    def scenario():
+        yield from fs.await_election()
+        yield fs.env.timeout(50)
+        yield from client.create("/f", data=b"x" * (SMALL_FILE_MAX_BYTES + 1))
+        # Another client without the lease cannot add blocks.
+        from repro.types import OpType
+
+        intruder = fs.client()
+        with pytest.raises(Exception):
+            yield from intruder.op(OpType.ADD_BLOCK, path="/f", client="intruder")
+        return True
+
+    assert run(fs, scenario())

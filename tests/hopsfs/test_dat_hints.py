@@ -1,0 +1,87 @@
+"""Distribution-aware-transaction hints: the NN hints with the parent id."""
+
+from .conftest import make_fs, run
+
+
+def _serving_nn(fs, client):
+    return next(n for n in fs.namenodes if n.addr == client.current_nn)
+
+
+def test_hint_resolves_parent_inode_id():
+    fs = make_fs()
+    client = fs.client()
+
+    def scenario():
+        yield from client.mkdir("/proj")
+        yield from client.mkdir("/proj/dir")
+        yield from client.create("/proj/dir/file")
+        # after these ops the serving NN's dir cache knows the parents
+        nn = _serving_nn(fs, client)
+        hint = nn._hint_for({"path": "/proj/dir/file"})
+        dir_row = yield from client.stat("/proj/dir")
+        return hint, dir_row.id
+
+    hint, dir_id = run(fs, scenario())
+    assert hint == dir_id
+
+
+def test_hint_for_top_level_is_root():
+    fs = make_fs()
+    nn = fs.namenodes[0]
+
+    def scenario():
+        yield fs.env.timeout(0)
+        return nn._hint_for({"path": "/top-level-file"})
+
+    assert run(fs, scenario()) == 1  # the root inode id
+
+
+def test_hint_missing_component_returns_none():
+    fs = make_fs()
+    nn = fs.namenodes[0]
+
+    def scenario():
+        yield fs.env.timeout(0)
+        return nn._hint_for({"path": "/never/seen/file"})
+
+    assert run(fs, scenario()) is None
+
+
+def test_hint_uses_src_for_rename():
+    fs = make_fs()
+    client = fs.client()
+
+    def scenario():
+        yield from client.mkdir("/d")
+        nn = _serving_nn(fs, client)
+        hint = nn._hint_for({"src": "/d/a", "dst": "/d/b"})
+        row = yield from client.stat("/d")
+        return hint, row.id
+
+    hint, dir_id = run(fs, scenario())
+    assert hint == dir_id
+
+
+def test_hint_matches_partition_of_target_rows():
+    """The hint is the inodes partition key of the target's slot."""
+    fs = make_fs()
+    client = fs.client()
+    pm = fs.ndb.partition_map
+
+    def scenario():
+        yield from client.mkdir("/p")
+        yield from client.create("/p/f")
+        nn = _serving_nn(fs, client)
+        hint = nn._hint_for({"path": "/p/f"})
+        # the partition derived from the hint holds the target row
+        partition = pm.partition_of(hint)
+        replicas = pm.replicas(partition)
+        row_holders = [
+            dn.addr
+            for dn in fs.ndb.datanodes.values()
+            if dn.store.read("inodes", (hint, "f")) is not None
+        ]
+        return set(replicas.all), set(row_holders)
+
+    replica_set, holders = run(fs, scenario())
+    assert holders == replica_set

@@ -1,0 +1,117 @@
+"""Dir-cache behaviour and the small-files-in-NDB path."""
+
+import pytest
+
+from repro.hopsfs import SMALL_FILE_MAX_BYTES, InodeRow
+from repro.hopsfs.dircache import DirCache
+
+from .conftest import make_fs, run
+
+
+def _dir_row(parent_id, name, inode_id=99):
+    return InodeRow(id=inode_id, parent_id=parent_id, name=name, is_dir=True)
+
+
+def test_dircache_put_get_invalidate():
+    now = [0.0]
+    cache = DirCache(now=lambda: now[0], ttl_ms=100)
+    row = _dir_row(1, "d")
+    cache.put(row)
+    assert cache.get(1, "d") is row
+    cache.invalidate(1, "d")
+    assert cache.get(1, "d") is None
+
+
+def test_dircache_only_caches_directories():
+    cache = DirCache(now=lambda: 0.0)
+    cache.put(InodeRow(id=5, parent_id=1, name="f", is_dir=False))
+    assert cache.get(1, "f") is None
+    assert len(cache) == 0
+
+
+def test_dircache_ttl_expiry():
+    now = [0.0]
+    cache = DirCache(now=lambda: now[0], ttl_ms=100)
+    cache.put(_dir_row(1, "d"))
+    now[0] = 99
+    assert cache.get(1, "d") is not None
+    now[0] = 201
+    assert cache.get(1, "d") is None
+
+
+def test_dircache_eviction_on_overflow():
+    cache = DirCache(now=lambda: 0.0, max_entries=4)
+    for i in range(5):
+        cache.put(_dir_row(1, f"d{i}", inode_id=i + 10))
+    assert len(cache) <= 4
+
+
+def test_dircache_hit_miss_counters():
+    cache = DirCache(now=lambda: 0.0)
+    cache.put(_dir_row(1, "d"))
+    cache.get(1, "d")
+    cache.get(1, "ghost")
+    assert cache.hits == 1
+    assert cache.misses == 1
+
+
+def test_nn_cache_serves_resolution(fs=None):
+    fs = make_fs()
+    client = fs.client()
+
+    def scenario():
+        yield from client.mkdir("/hot")
+        yield from client.create("/hot/f")
+        nn_cache = fs.namenodes[0].dir_cache if False else None
+        # re-stat several times: ancestors resolve from the NN cache
+        caches = [nn.dir_cache for nn in fs.namenodes]
+        before = sum(c.hits for c in caches)
+        for _ in range(5):
+            yield from client.stat("/hot/f")
+        after = sum(c.hits for c in caches)
+        return after - before
+
+    assert run(fs, scenario()) >= 5
+
+
+def test_small_file_exactly_at_threshold():
+    fs = make_fs()
+    client = fs.client()
+    payload = b"x" * SMALL_FILE_MAX_BYTES
+
+    def scenario():
+        yield from client.create("/edge", data=payload)
+        content = yield from client.read("/edge")
+        return content
+
+    content = run(fs, scenario())
+    assert content.is_small
+    assert len(content.small_data) == SMALL_FILE_MAX_BYTES
+
+
+def test_small_file_data_survives_ndb_node_failure():
+    """Small-file payloads are replicated with the metadata (Sec. IV-C2)."""
+    fs = make_fs()
+    client = fs.client()
+
+    def scenario():
+        yield from client.create("/precious", data=b"payload")
+        victim = next(iter(fs.ndb.datanodes))
+        fs.ndb.crash_datanode(victim, detect_now=True)
+        content = yield from client.read("/precious")
+        return content.small_data
+
+    assert run(fs, scenario()) == b"payload"
+
+
+def test_rename_preserves_small_file_data():
+    fs = make_fs()
+    client = fs.client()
+
+    def scenario():
+        yield from client.create("/a", data=b"keep me")
+        yield from client.rename("/a", "/b")
+        content = yield from client.read("/b")
+        return content.small_data
+
+    assert run(fs, scenario()) == b"keep me"

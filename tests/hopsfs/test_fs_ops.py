@@ -1,0 +1,313 @@
+"""Functional tests of the file-system operations through the full stack."""
+
+import pytest
+
+from repro.errors import (
+    DirectoryNotEmptyError,
+    FileAlreadyExistsError,
+    FileNotFoundFsError,
+    FsError,
+    InvalidPathError,
+    NotDirectoryError,
+)
+
+from .conftest import make_fs, run
+
+
+def test_mkdir_and_stat(fs, client):
+    def scenario():
+        yield from client.mkdir("/data")
+        row = yield from client.stat("/data")
+        return row
+
+    row = run(fs, scenario())
+    assert row.is_dir
+    assert row.name == "data"
+    assert row.parent_id == 1
+
+
+def test_mkdir_missing_parent_fails(fs, client):
+    def scenario():
+        with pytest.raises(FileNotFoundFsError):
+            yield from client.mkdir("/a/b/c")
+        return True
+
+    assert run(fs, scenario())
+
+
+def test_mkdir_duplicate_fails(fs, client):
+    def scenario():
+        yield from client.mkdir("/dup")
+        with pytest.raises(FileAlreadyExistsError):
+            yield from client.mkdir("/dup")
+        return True
+
+    assert run(fs, scenario())
+
+
+def test_create_and_read_small_file(fs, client):
+    payload = b"hello hopsfs" * 10
+
+    def scenario():
+        yield from client.mkdir("/d")
+        yield from client.create("/d/f.txt", data=payload)
+        content = yield from client.read("/d/f.txt")
+        return content
+
+    content = run(fs, scenario())
+    assert content.is_small
+    assert content.small_data == payload
+    assert content.inode.size == len(payload)
+
+
+def test_create_empty_file(fs, client):
+    def scenario():
+        yield from client.create("/empty")
+        row = yield from client.stat("/empty")
+        return row
+
+    row = run(fs, scenario())
+    assert not row.is_dir
+    assert row.size == 0
+    assert not row.under_construction
+
+
+def test_read_nonexistent_fails(fs, client):
+    def scenario():
+        with pytest.raises(FileNotFoundFsError):
+            yield from client.read("/nope")
+        return True
+
+    assert run(fs, scenario())
+
+
+def test_read_directory_fails(fs, client):
+    def scenario():
+        yield from client.mkdir("/d")
+        with pytest.raises(FsError):
+            yield from client.read("/d")
+        return True
+
+    assert run(fs, scenario())
+
+
+def test_listdir_consistent_listing(fs, client):
+    def scenario():
+        yield from client.mkdir("/dir")
+        for name in ("c", "a", "b"):
+            yield from client.create(f"/dir/{name}")
+        names = yield from client.listdir("/dir")
+        return names
+
+    assert run(fs, scenario()) == ["a", "b", "c"]
+
+
+def test_listdir_root(fs, client):
+    def scenario():
+        yield from client.mkdir("/x")
+        yield from client.mkdir("/y")
+        names = yield from client.listdir("/")
+        return names
+
+    assert run(fs, scenario()) == ["x", "y"]
+
+
+def test_exists(fs, client):
+    def scenario():
+        yield from client.mkdir("/here")
+        a = yield from client.exists("/here")
+        b = yield from client.exists("/gone")
+        return a, b
+
+    assert run(fs, scenario()) == (True, False)
+
+
+def test_delete_file(fs, client):
+    def scenario():
+        yield from client.create("/f")
+        removed = yield from client.delete("/f")
+        there = yield from client.exists("/f")
+        return removed, there
+
+    assert run(fs, scenario()) == (1, False)
+
+
+def test_delete_nonempty_dir_requires_recursive(fs, client):
+    def scenario():
+        yield from client.mkdir("/d")
+        yield from client.create("/d/f")
+        with pytest.raises(DirectoryNotEmptyError):
+            yield from client.delete("/d")
+        removed = yield from client.delete("/d", recursive=True)
+        there = yield from client.exists("/d")
+        return removed, there
+
+    assert run(fs, scenario()) == (2, False)
+
+
+def test_recursive_delete_counts_subtree(fs, client):
+    def scenario():
+        yield from client.mkdir("/tree")
+        yield from client.mkdir("/tree/sub")
+        yield from client.create("/tree/sub/f1")
+        yield from client.create("/tree/f2")
+        removed = yield from client.delete("/tree", recursive=True)
+        return removed
+
+    assert run(fs, scenario()) == 4
+
+
+def test_rename_file(fs, client):
+    def scenario():
+        yield from client.mkdir("/a")
+        yield from client.mkdir("/b")
+        yield from client.create("/a/f", data=b"payload")
+        yield from client.rename("/a/f", "/b/g")
+        content = yield from client.read("/b/g")
+        old = yield from client.exists("/a/f")
+        return content.small_data, old
+
+    assert run(fs, scenario()) == (b"payload", False)
+
+
+def test_rename_directory_keeps_children(fs, client):
+    """Atomic O(1) directory rename — children keyed by inode id move free."""
+
+    def scenario():
+        yield from client.mkdir("/old")
+        for i in range(5):
+            yield from client.create(f"/old/f{i}")
+        yield from client.rename("/old", "/new")
+        names = yield from client.listdir("/new")
+        old = yield from client.exists("/old")
+        return names, old
+
+    names, old = run(fs, scenario())
+    assert names == [f"f{i}" for i in range(5)]
+    assert old is False
+
+
+def test_rename_to_existing_fails(fs, client):
+    def scenario():
+        yield from client.create("/f1")
+        yield from client.create("/f2")
+        with pytest.raises(FileAlreadyExistsError):
+            yield from client.rename("/f1", "/f2")
+        return True
+
+    assert run(fs, scenario())
+
+
+def test_rename_missing_source_fails(fs, client):
+    def scenario():
+        with pytest.raises(FileNotFoundFsError):
+            yield from client.rename("/ghost", "/dst")
+        return True
+
+    assert run(fs, scenario())
+
+
+def test_chmod(fs, client):
+    def scenario():
+        yield from client.create("/f")
+        yield from client.chmod("/f", 0o600)
+        row = yield from client.stat("/f")
+        return row.permission
+
+    assert run(fs, scenario()) == 0o600
+
+
+def test_set_replication(fs, client):
+    def scenario():
+        yield from client.create("/f")
+        yield from client.set_replication("/f", 2)
+        row = yield from client.stat("/f")
+        return row.replication
+
+    assert run(fs, scenario()) == 2
+
+
+def test_path_through_file_fails(fs, client):
+    def scenario():
+        yield from client.create("/f")
+        with pytest.raises(NotDirectoryError):
+            yield from client.mkdir("/f/sub")
+        return True
+
+    assert run(fs, scenario())
+
+
+def test_relative_path_rejected(fs, client):
+    def scenario():
+        with pytest.raises(InvalidPathError):
+            yield from client.mkdir("relative/path")
+        return True
+
+    assert run(fs, scenario())
+
+
+def test_deep_paths(fs, client):
+    def scenario():
+        path = ""
+        for depth in range(8):
+            path += f"/d{depth}"
+            yield from client.mkdir(path)
+        yield from client.create(path + "/leaf", data=b"deep")
+        content = yield from client.read(path + "/leaf")
+        return content.small_data
+
+    assert run(fs, scenario()) == b"deep"
+
+
+def test_concurrent_creates_unique_names():
+    """Two clients racing to create the same path: exactly one wins."""
+    fs = make_fs()
+    c1, c2 = fs.client(), fs.client()
+    outcomes = []
+
+    def creator(client, tag):
+        try:
+            yield from client.create("/race")
+            outcomes.append((tag, "won"))
+        except FileAlreadyExistsError:
+            outcomes.append((tag, "lost"))
+
+    def scenario():
+        p1 = fs.env.process(creator(c1, "c1"))
+        p2 = fs.env.process(creator(c2, "c2"))
+        yield p1
+        yield p2
+        return sorted(o for _t, o in outcomes)
+
+    assert run(fs, scenario()) == ["lost", "won"]
+
+
+def test_concurrent_mkdir_same_parent_all_succeed():
+    fs = make_fs()
+    clients = [fs.client() for _ in range(4)]
+
+    def creator(client, i):
+        yield from client.mkdir(f"/dir{i}")
+
+    def scenario():
+        procs = [fs.env.process(creator(c, i)) for i, c in enumerate(clients)]
+        for p in procs:
+            yield p
+        names = yield from clients[0].listdir("/")
+        return names
+
+    assert run(fs, scenario()) == [f"dir{i}" for i in range(4)]
+
+
+def test_mkdirs_via_client(fs, client):
+    def scenario():
+        yield from client.mkdirs("/deep/nested/dirs")
+        a = yield from client.exists("/deep")
+        b = yield from client.exists("/deep/nested/dirs")
+        # idempotent: repeating succeeds and returns the existing dir id
+        again = yield from client.mkdirs("/deep/nested/dirs")
+        return a, b, again
+
+    a, b, again = run(fs, scenario())
+    assert a and b
+    assert isinstance(again, int)

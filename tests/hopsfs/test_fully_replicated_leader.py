@@ -1,0 +1,56 @@
+"""The Fully Replicated table option applied to the leader table."""
+
+from repro.hopsfs import build_hopsfs, HopsFsConfig
+from repro.ndb import NdbConfig
+
+
+def _fs(fully_replicated_leader):
+    return build_hopsfs(
+        num_namenodes=3,
+        azs=(1, 2, 3),
+        az_aware=True,
+        ndb_config=NdbConfig(num_datanodes=6, replication=3, az_aware=True),
+        hopsfs_config=HopsFsConfig(
+            election_period_ms=20.0, op_cost_read_ms=0.001, op_cost_mutation_ms=0.001
+        ),
+        fully_replicated_leader=fully_replicated_leader,
+        seed=13,
+    )
+
+
+def test_leader_rows_on_every_datanode():
+    fs = _fs(True)
+
+    def scenario():
+        yield from fs.await_election()
+        holders = [
+            dn for dn in fs.ndb.datanodes.values() if dn.store.row_count("leader") > 0
+        ]
+        return len(holders)
+
+    # fully replicated: every datanode stores the leader rows
+    assert fs.env.run_process(scenario(), until=60_000) == 6
+
+
+def test_plain_leader_rows_only_on_one_group():
+    fs = _fs(False)
+
+    def scenario():
+        yield from fs.await_election()
+        holders = [
+            dn for dn in fs.ndb.datanodes.values() if dn.store.row_count("leader") > 0
+        ]
+        return len(holders)
+
+    # normal table: leader rows live on one node group (R=3 replicas)
+    assert fs.env.run_process(scenario(), until=60_000) == 3
+
+
+def test_election_converges_with_fr_leader_table():
+    fs = _fs(True)
+
+    def scenario():
+        yield from fs.await_election()
+        return {nn.election.leader_id for nn in fs.namenodes}
+
+    assert fs.env.run_process(scenario(), until=60_000) == {1}

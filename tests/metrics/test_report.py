@@ -1,0 +1,49 @@
+"""Tests for table rendering and utilization reports."""
+
+from repro.metrics import ResourceReport, Table, comparison_line, format_value
+
+
+def test_format_value():
+    assert format_value(0.0) == "0"
+    assert format_value(1234567.0) == "1,234,567"
+    assert format_value(12.34) == "12.3"
+    assert format_value(1.2345) == "1.234"
+    assert format_value("text") == "text"
+
+
+def test_table_render_alignment():
+    table = Table(title="T", headers=["name", "value"])
+    table.add_row("alpha", 1.0)
+    table.add_row("b", 123456.0)
+    table.add_note("a note")
+    rendered = table.render()
+    lines = rendered.splitlines()
+    assert lines[0] == "T"
+    assert "alpha" in rendered
+    assert "123,456" in rendered
+    assert rendered.endswith("note: a note")
+    # all data lines equally wide columns
+    header_line = lines[2]
+    assert header_line.startswith("name")
+
+
+def test_table_column_access():
+    table = Table(title="T", headers=["a", "b"])
+    table.add_row(1, 2)
+    table.add_row(3, 4)
+    assert table.column("b") == [2, 4]
+
+
+def test_comparison_line():
+    line = comparison_line("claim", "1.62M", 1_580_000.0, ok=True)
+    assert "paper=1.62M" in line
+    assert "[holds]" in line
+    line = comparison_line("claim", "x", 1.0, ok=False)
+    assert "[DEVIATES]" in line
+
+
+def test_resource_report_rows():
+    report = ResourceReport(window_ms=10, storage_cpu_pct=50.0)
+    rows = dict(report.as_rows())
+    assert rows["storage CPU %"] == 50.0
+    assert "cross-AZ MB" in rows

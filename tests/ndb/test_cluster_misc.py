@@ -1,0 +1,130 @@
+"""Cluster assembly, preload, configuration validation."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.ndb import NdbCluster, NdbConfig, Schema, ThreadConfig
+from repro.ndb.cluster import az_assignment_for
+from repro.net import Network, build_us_west1
+from repro.sim import Environment, RngRegistry
+
+
+def _cluster(num_datanodes=4, replication=2, azs=(1, 2), **kwargs):
+    env = Environment()
+    network = Network(env, build_us_west1())
+    schema = Schema()
+    schema.define("t")
+    config = NdbConfig(
+        num_datanodes=num_datanodes, replication=replication, **kwargs
+    )
+    return NdbCluster(
+        env,
+        network,
+        config,
+        schema,
+        datanode_azs=az_assignment_for(num_datanodes, replication, list(azs)),
+        mgmt_azs=(3,),
+        rng=RngRegistry(0),
+    )
+
+
+def test_config_validation():
+    with pytest.raises(ConfigError):
+        NdbConfig(num_datanodes=5, replication=2)
+    with pytest.raises(ConfigError):
+        NdbConfig(replication=0)
+    with pytest.raises(ConfigError):
+        NdbConfig(num_partitions=0)
+
+
+def test_thread_config_totals():
+    assert ThreadConfig().total == 27
+    assert ThreadConfig().counts()["ldm"] == 12
+
+
+def test_az_assignment_length_checked():
+    env = Environment()
+    network = Network(env, build_us_west1())
+    schema = Schema()
+    with pytest.raises(ConfigError):
+        NdbCluster(
+            env,
+            network,
+            NdbConfig(num_datanodes=4, replication=2),
+            schema,
+            datanode_azs=[1, 2],  # wrong length
+            rng=RngRegistry(0),
+        )
+
+
+def test_preload_places_rows_on_all_replicas():
+    cluster = _cluster()
+    count = cluster.preload("t", [(f"k{i}", f"k{i}", i) for i in range(20)])
+    assert count == 20
+    total_rows = sum(dn.store.row_count("t") for dn in cluster.datanodes.values())
+    assert total_rows == 20 * 2  # replication factor 2
+
+
+def test_preload_fully_replicated_table_everywhere():
+    env = Environment()
+    network = Network(env, build_us_west1())
+    schema = Schema()
+    schema.define("fr", fully_replicated=True)
+    cluster = NdbCluster(
+        env,
+        network,
+        NdbConfig(num_datanodes=4, replication=2),
+        schema,
+        datanode_azs=az_assignment_for(4, 2, [1, 2]),
+        rng=RngRegistry(0),
+    )
+    cluster.preload("fr", [("k", "k", 1)])
+    assert all(dn.store.read("fr", "k") == 1 for dn in cluster.datanodes.values())
+
+
+def test_thread_busy_reports_all_types():
+    cluster = _cluster()
+    busy = cluster.thread_busy()
+    assert set(busy) == {"ldm", "tc", "recv", "send", "rep", "io", "main"}
+    ldm_busy, ldm_cores = busy["ldm"]
+    assert ldm_cores == 4 * 12  # 4 datanodes x 12 LDM threads
+
+
+def test_is_operational_lifecycle():
+    cluster = _cluster()
+    cluster.start(heartbeats=False)
+    assert cluster.is_operational()
+    group = cluster.partition_map.node_groups[0]
+    for node in group:
+        cluster.crash_datanode(node, detect_now=True)
+    assert not cluster.is_operational()
+
+
+def test_arbitrator_falls_back_to_next_mgmt():
+    env = Environment()
+    network = Network(env, build_us_west1())
+    schema = Schema()
+    schema.define("t")
+    cluster = NdbCluster(
+        env,
+        network,
+        NdbConfig(num_datanodes=4, replication=2),
+        schema,
+        datanode_azs=az_assignment_for(4, 2, [1, 2]),
+        mgmt_azs=(3, 1, 2),
+        rng=RngRegistry(0),
+    )
+    cluster.start(heartbeats=False)
+    first = cluster.arbitrator()
+    assert first is cluster.mgmt_nodes[0]
+    first.shutdown()
+    assert cluster.arbitrator() is cluster.mgmt_nodes[1]
+
+
+def test_checkpoint_loop_writes_disk():
+    cluster = _cluster(global_checkpoint_interval_ms=10.0)
+    cluster.start(heartbeats=False)
+    cluster.env.run(until=55)
+    for dn in cluster.datanodes.values():
+        # 5 checkpoint intervals elapsed
+        assert dn.disk.bytes_written >= 5 * cluster.config.checkpoint_bytes

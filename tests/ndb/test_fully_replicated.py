@@ -1,0 +1,86 @@
+"""Fully Replicated tables: the paper's second new table option (IV-A3)."""
+
+import pytest
+
+from .conftest import build_harness
+
+
+def _fr_harness(**kwargs):
+    return build_harness(
+        num_datanodes=6,
+        replication=3,
+        azs=(1, 2, 3),
+        fully_replicated_tables=("fr",),
+        **kwargs,
+    )
+
+
+def test_fr_write_commits_on_all_nodes_before_ack():
+    harness = _fr_harness()
+
+    def scenario():
+        txn = harness.api.transaction(hint_table="fr", hint_key="k")
+        yield from txn.write("fr", "k", "v")
+        yield from txn.commit()
+        # At ACK time every datanode has applied (delayed-ack, msg 14).
+        return [dn.store.read("fr", "k") for dn in harness.cluster.datanodes.values()]
+
+    assert harness.run(scenario()) == ["v"] * 6
+
+
+def test_fr_reads_are_az_local_from_any_az():
+    """With a copy on every node, reads never leave the reader's AZ."""
+    harness = _fr_harness(client_az=3)
+
+    def scenario():
+        txn = harness.api.transaction(hint_table="fr", hint_key="k")
+        yield from txn.write("fr", "k", 1)
+        yield from txn.commit()
+        stats = harness.cluster.read_stats
+        base = stats.az_remote_reads
+        for _ in range(10):
+            txn = harness.api.transaction(hint_table="fr", hint_key="k")
+            yield from txn.read("fr", "k")
+            yield from txn.commit()
+        return stats.az_remote_reads - base
+
+    assert harness.run(scenario()) == 0
+
+
+def test_fr_write_slower_than_normal_table():
+    """FR trades slower writes for faster reads (Section IV-A)."""
+    harness = _fr_harness()
+    env = harness.env
+
+    def timed_write(table):
+        start = env.now
+        txn = harness.api.transaction(hint_table=table, hint_key="w")
+        yield from txn.write(table, "w", 1)
+        yield from txn.commit()
+        return env.now - start
+
+    def scenario():
+        fr_time = yield from timed_write("fr")
+        t_time = yield from timed_write("t")
+        return fr_time, t_time
+
+    fr_time, t_time = harness.run(scenario())
+    assert fr_time > t_time  # the chain spans all six nodes, not three
+
+
+def test_fr_survives_node_failure():
+    harness = _fr_harness()
+    cluster = harness.cluster
+
+    def scenario():
+        txn = harness.api.transaction(hint_table="fr", hint_key="k")
+        yield from txn.write("fr", "k", "durable")
+        yield from txn.commit()
+        victim = next(iter(cluster.datanodes))
+        cluster.crash_datanode(victim, detect_now=True)
+        txn = harness.api.transaction(hint_table="fr", hint_key="k")
+        value = yield from txn.read("fr", "k")
+        yield from txn.commit()
+        return value
+
+    assert harness.run(scenario()) == "durable"

@@ -1,0 +1,144 @@
+"""Unit tests for the fragment store, schema and table options."""
+
+import pytest
+
+from repro.errors import ConfigError, NdbError
+from repro.ndb import FragmentStore, ReadStats, Schema, TableDef
+from repro.ndb.schema import TOMBSTONE
+from repro.types import NodeAddress, NodeKind
+
+
+def test_schema_define_and_lookup():
+    schema = Schema()
+    schema.define("inodes", read_backup=True, row_bytes=224)
+    table = schema.table("inodes")
+    assert table.read_backup
+    assert not table.fully_replicated
+    assert "inodes" in schema
+    assert len(schema) == 1
+
+
+def test_schema_duplicate_rejected():
+    schema = Schema()
+    schema.define("t")
+    with pytest.raises(ConfigError):
+        schema.define("t")
+
+
+def test_schema_unknown_table():
+    with pytest.raises(ConfigError):
+        Schema().table("ghost")
+    assert Schema().get("ghost") is None
+
+
+def test_schema_read_backup_everywhere():
+    schema = Schema()
+    schema.define("a")
+    schema.define("b", fully_replicated=True)
+    clone = schema.with_read_backup_everywhere()
+    assert all(t.read_backup for t in clone.tables())
+    assert clone.table("b").fully_replicated
+
+
+def test_tabledef_validation():
+    with pytest.raises(ConfigError):
+        TableDef(name="")
+    with pytest.raises(ConfigError):
+        TableDef(name="x", row_bytes=0)
+
+
+def test_store_read_write_delete():
+    store = FragmentStore()
+    store.load("t", "pk", "part", {"v": 1})
+    assert store.read("t", "pk") == {"v": 1}
+    assert store.row_count("t") == 1
+    store.load("t", "pk", "part", TOMBSTONE)
+    assert store.read("t", "pk") is None
+    assert store.row_count("t") == 0
+
+
+def test_store_prepare_commit_cycle():
+    store = FragmentStore()
+    store.prepare(7, "t", "k", "p", "new")
+    assert store.has_prepared("t", "k")
+    assert store.read("t", "k") is None  # not visible until commit
+    store.commit_prepared(7, "t", "k")
+    assert store.read("t", "k") == "new"
+    assert not store.has_prepared("t", "k")
+
+
+def test_store_prepare_abort():
+    store = FragmentStore()
+    store.load("t", "k", "p", "old")
+    store.prepare(7, "t", "k", "p", "new")
+    store.abort_prepared(7, "t", "k")
+    assert store.read("t", "k") == "old"
+
+
+def test_store_conflicting_prepare_rejected():
+    store = FragmentStore()
+    store.prepare(1, "t", "k", "p", "a")
+    with pytest.raises(NdbError):
+        store.prepare(2, "t", "k", "p", "b")
+    # same transaction may re-prepare (second write to the same row)
+    store.prepare(1, "t", "k", "p", "a2")
+    store.commit_prepared(1, "t", "k")
+    assert store.read("t", "k") == "a2"
+
+
+def test_store_commit_without_prepare_fails():
+    store = FragmentStore()
+    with pytest.raises(NdbError):
+        store.commit_prepared(1, "t", "k")
+
+
+def test_store_abort_all():
+    store = FragmentStore()
+    store.prepare(1, "t", "a", "p", 1)
+    store.prepare(1, "t", "b", "p", 2)
+    store.prepare(2, "t", "c", "p", 3)
+    store.abort_all(1)
+    assert store.prepared_count() == 1
+
+
+def test_store_read_for_sees_own_writes():
+    store = FragmentStore()
+    store.load("t", "k", "p", "old")
+    store.prepare(5, "t", "k", "p", "mine")
+    assert store.read_for(5, "t", "k") == "mine"
+    assert store.read_for(6, "t", "k") == "old"
+    store.prepare(5, "t", "gone", "p", TOMBSTONE) if False else None
+    assert store.read("t", "k") == "old"
+
+
+def test_store_scan_by_partition_key():
+    store = FragmentStore()
+    for i in range(5):
+        store.load("t", f"k{i}", "dirA", i)
+    store.load("t", "other", "dirB", 99)
+    rows = store.scan("t", "dirA")
+    assert len(rows) == 5
+    assert all(pk.startswith("k") for pk, _v in rows)
+    # deleting removes from the index
+    store.load("t", "k0", "dirA", TOMBSTONE)
+    assert len(store.scan("t", "dirA")) == 4
+
+
+def test_store_partition_key_move_updates_index():
+    store = FragmentStore()
+    store.load("t", "k", "dirA", 1)
+    store.load("t", "k", "dirB", 2)
+    assert store.scan("t", "dirA") == []
+    assert store.scan("t", "dirB") == [("k", 2)]
+
+
+def test_read_stats_distribution():
+    stats = ReadStats()
+    node = NodeAddress(NodeKind.NDB_DATANODE, 1)
+    for _ in range(3):
+        stats.record("t", 5, 0, node, same_az=True)
+    stats.record("t", 5, 1, node, same_az=False)
+    dist = stats.partition_distribution(5)
+    assert dist == {0: 3, 1: 1}
+    assert stats.primary_fraction() == pytest.approx(0.75)
+    assert stats.az_local_fraction() == pytest.approx(0.75)

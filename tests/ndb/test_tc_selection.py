@@ -1,0 +1,123 @@
+"""Unit tests for the 4-case TC selection policy and read routing."""
+
+import random
+
+import pytest
+
+from repro.ndb import PartitionMap, TableDef, select_read_replica, select_tc
+from repro.net import build_us_west1
+from repro.types import NodeAddress, NodeKind
+
+
+@pytest.fixture
+def world():
+    topo = build_us_west1()
+    nodes = []
+    for i in range(1, 7):
+        addr = NodeAddress(NodeKind.NDB_DATANODE, i)
+        topo.add_host(addr, az=((i - 1) // 2) + 1)  # 2 nodes per AZ
+        nodes.append(addr)
+    pm = PartitionMap(nodes, replication=3, num_partitions=12)
+    caller = NodeAddress(NodeKind.NAMENODE, 1)
+    topo.add_host(caller, az=2)
+    return topo, pm, caller
+
+
+def test_case1_read_backup_prefers_local_az(world):
+    topo, pm, caller = world
+    table = TableDef(name="t", read_backup=True)
+    rng = random.Random(0)
+    for key in range(30):
+        tc = select_tc(topo, pm, table, key, caller, az_aware=True, rng=rng)
+        replicas = pm.replicas_for_key(key)
+        assert tc in replicas.all
+        assert topo.az_of(tc) == 2  # R3 over 3 AZs: one replica per AZ
+
+
+def test_case2_fully_replicated_any_local_node(world):
+    topo, pm, caller = world
+    table = TableDef(name="fr", fully_replicated=True)
+    rng = random.Random(0)
+    for key in range(20):
+        tc = select_tc(topo, pm, table, key, caller, az_aware=True, rng=rng)
+        assert topo.az_of(tc) == 2
+
+
+def test_case3_default_table_local_replica_or_primary(world):
+    topo, pm, caller = world
+    table = TableDef(name="plain")
+    rng = random.Random(0)
+    for key in range(30):
+        tc = select_tc(topo, pm, table, key, caller, az_aware=True, rng=rng)
+        replicas = pm.replicas_for_key(key)
+        local = [n for n in replicas.all if topo.az_of(n) == 2]
+        if local:
+            assert tc in local
+        else:
+            assert tc == replicas.primary
+
+
+def test_case4_no_hint_uses_proximity(world):
+    topo, pm, caller = world
+    rng = random.Random(0)
+    for _ in range(20):
+        tc = select_tc(topo, pm, None, None, caller, az_aware=True, rng=rng)
+        assert topo.az_of(tc) == 2
+
+
+def test_vanilla_hint_gives_primary(world):
+    topo, pm, caller = world
+    table = TableDef(name="t")
+    rng = random.Random(0)
+    for key in range(20):
+        tc = select_tc(topo, pm, table, key, caller, az_aware=False, rng=rng)
+        assert tc == pm.replicas_for_key(key).primary
+
+
+def test_vanilla_no_hint_random_spread(world):
+    topo, pm, caller = world
+    rng = random.Random(0)
+    seen = {select_tc(topo, pm, None, None, caller, az_aware=False, rng=rng) for _ in range(50)}
+    assert len(seen) >= 4  # spreads over the cluster, ignores AZs
+
+
+def test_selection_skips_down_nodes(world):
+    topo, pm, caller = world
+    table = TableDef(name="t", read_backup=True)
+    rng = random.Random(0)
+    key = 3
+    local = [n for n in pm.replicas_for_key(key).all if topo.az_of(n) == 2]
+    for node in local:
+        pm.mark_down(node)
+    tc = select_tc(topo, pm, table, key, caller, az_aware=True, rng=rng)
+    assert pm.is_up(tc)
+
+
+def test_read_replica_plain_always_primary(world):
+    topo, pm, caller = world
+    table = TableDef(name="plain")
+    rng = random.Random(0)
+    node, role = select_read_replica(topo, pm, table, 4, caller, True, rng)
+    assert role == 0
+    assert node == pm.replicas(4).primary
+
+
+def test_read_replica_rb_az_local(world):
+    topo, pm, caller = world
+    table = TableDef(name="t", read_backup=True)
+    rng = random.Random(0)
+    for partition in range(12):
+        node, role = select_read_replica(topo, pm, table, partition, caller, True, rng)
+        assert topo.az_of(node) == 2
+        assert pm.replicas(partition).role_of(node) == role
+
+
+def test_read_replica_rb_random_without_awareness(world):
+    topo, pm, caller = world
+    table = TableDef(name="t", read_backup=True)
+    rng = random.Random(0)
+    azs = set()
+    for _ in range(30):
+        node, _role = select_read_replica(topo, pm, table, 4, caller, False, rng)
+        azs.add(topo.az_of(node))
+    assert len(azs) == 3  # spread over all replicas

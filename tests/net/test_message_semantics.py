@@ -1,0 +1,90 @@
+"""Remaining network semantics: replies on non-RPCs, late replies, drops."""
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.net import Message, Network, build_us_west1
+from repro.sim import Environment
+from repro.types import NodeAddress, NodeKind
+
+
+def _world():
+    env = Environment()
+    topo = build_us_west1()
+    net = Network(env, topo)
+    a = NodeAddress(NodeKind.CLIENT, 1)
+    b = NodeAddress(NodeKind.CLIENT, 2)
+    topo.add_host(a, az=1)
+    topo.add_host(b, az=2)
+    net.register(a)
+    net.register(b)
+    return env, net, a, b
+
+
+def test_reply_to_non_rpc_rejected():
+    env, net, a, b = _world()
+    plain = Message(src=a, dst=b, kind="oneway")
+    with pytest.raises(NetworkError):
+        net.reply(plain)
+
+
+def test_duplicate_reply_ignored():
+    """A second reply to the same rpc_id must not crash or re-trigger."""
+    env, net, a, b = _world()
+
+    def server():
+        msg = yield net.mailbox(b).get()
+        net.reply(msg, payload="first")
+        net.reply(msg, payload="second")  # dup: dropped at completion
+
+    def client():
+        result = yield net.call(a, b, "ask")
+        yield env.timeout(5)  # let the duplicate land
+        return result
+
+    env.process(server())
+    assert env.run_process(client()) == "first"
+
+
+def test_message_to_unregistered_host_fails_rpc():
+    env, net, a, b = _world()
+    ghost = NodeAddress(NodeKind.CLIENT, 99)
+    net.topology.add_host(ghost, az=3)  # host exists but never registered
+
+    def client():
+        with pytest.raises(Exception):
+            yield net.call(a, ghost, "ask")
+        return True
+
+    assert env.run_process(client())
+    assert net.dropped_messages == 1
+
+
+def test_send_sizes_accumulate_per_direction():
+    env, net, a, b = _world()
+    for size in (100, 200, 300):
+        net.send(Message(src=a, dst=b, kind="x", size=size))
+    env.run()
+    assert net.traffic.node_bytes(a).sent == 600
+    assert net.traffic.node_bytes(b).received == 600
+    assert net.traffic.messages == 3
+
+
+def test_partition_does_not_affect_same_side_traffic():
+    env, net, a, b = _world()
+    c = NodeAddress(NodeKind.CLIENT, 3)
+    net.topology.add_host(c, az=1)
+    net.register(c)
+    net.partition_azs({1}, {2})
+    got = []
+
+    def receiver():
+        msg = yield net.mailbox(c).get()
+        got.append(msg.kind)
+
+    env.process(receiver())
+    net.send(Message(src=a, dst=c, kind="local"))
+    net.send(Message(src=a, dst=b, kind="cut"))
+    env.run()
+    assert got == ["local"]
+    assert net.dropped_messages == 1

@@ -1,0 +1,101 @@
+"""Tests for the AZ topology and Table I latency matrix."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.net import SAME_HOST_LATENCY_MS, TABLE1_LATENCY_MS, Topology, build_us_west1
+from repro.types import NodeAddress, NodeKind
+
+
+def _addr(kind, index):
+    return NodeAddress(kind, index)
+
+
+def test_table1_is_symmetric_and_complete():
+    topo = build_us_west1()
+    for a in range(1, 4):
+        for b in range(1, 4):
+            assert topo.az_pair_latency(a, b) == topo.az_pair_latency(b, a)
+
+
+def test_intra_az_latency_lower_than_inter():
+    topo = build_us_west1()
+    for a in range(1, 4):
+        for b in range(1, 4):
+            if a != b:
+                assert topo.az_pair_latency(a, a) < topo.az_pair_latency(a, b)
+
+
+def test_latency_values_match_paper_table1():
+    assert TABLE1_LATENCY_MS[("us-west1-a", "us-west1-a")] == 0.247
+    assert TABLE1_LATENCY_MS[("us-west1-b", "us-west1-c")] == 0.399
+    assert TABLE1_LATENCY_MS[("us-west1-a", "us-west1-c")] == 0.372
+
+
+def test_host_placement_and_az_lookup():
+    topo = build_us_west1()
+    addr = _addr(NodeKind.NAMENODE, 1)
+    topo.add_host(addr, az=2, cores=32)
+    assert topo.az_of(addr) == 2
+    assert topo.host(addr).cores == 32
+
+
+def test_duplicate_host_rejected():
+    topo = build_us_west1()
+    addr = _addr(NodeKind.NAMENODE, 1)
+    topo.add_host(addr, az=1)
+    with pytest.raises(ConfigError):
+        topo.add_host(addr, az=2)
+
+
+def test_az_zero_placement_rejected():
+    topo = build_us_west1()
+    with pytest.raises(ConfigError):
+        topo.add_host(_addr(NodeKind.NAMENODE, 1), az=0)
+
+
+def test_unknown_host_raises():
+    topo = build_us_west1()
+    with pytest.raises(ConfigError):
+        topo.az_of(_addr(NodeKind.CLIENT, 9))
+
+
+def test_same_vm_latency_is_loopback():
+    topo = build_us_west1()
+    a = _addr(NodeKind.NDB_DATANODE, 1)
+    b = _addr(NodeKind.NAMENODE, 1)
+    topo.add_host(a, az=1)
+    topo.add_host(b, az=1, colocated_with=a)
+    assert topo.latency(a, b) == SAME_HOST_LATENCY_MS
+    assert topo.same_vm(a, b)
+
+
+def test_proximity_rank_ordering():
+    """Paper §IV-A4: same-host < same-AZ < cross-AZ."""
+    topo = build_us_west1()
+    n1 = _addr(NodeKind.NDB_DATANODE, 1)
+    n2 = _addr(NodeKind.NDB_DATANODE, 2)
+    n3 = _addr(NodeKind.NDB_DATANODE, 3)
+    colo = _addr(NodeKind.NAMENODE, 1)
+    topo.add_host(n1, az=1)
+    topo.add_host(n2, az=1)
+    topo.add_host(n3, az=2)
+    topo.add_host(colo, az=1, colocated_with=n1)
+    assert topo.proximity_rank(n1, colo) == 0
+    assert topo.proximity_rank(n1, n2) == 1
+    assert topo.proximity_rank(n1, n3) == 2
+
+
+def test_extra_az_for_arbitrator():
+    topo = build_us_west1(extra_azs=("us-west1-arb",))
+    assert topo.num_azs == 4
+    assert topo.az_pair_latency(4, 1) > 0
+
+
+def test_hosts_in_az():
+    topo = build_us_west1()
+    for i in range(4):
+        topo.add_host(_addr(NodeKind.DATANODE, i), az=(i % 2) + 1)
+    assert len(topo.hosts_in_az(1)) == 2
+    assert len(topo.hosts_in_az(2)) == 2
+    assert topo.hosts_in_az(3) == []

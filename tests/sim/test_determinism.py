@@ -1,0 +1,60 @@
+"""Whole-stack determinism: identical seeds replay identically.
+
+Changing any RNG usage pattern silently breaks reproducibility; this test
+pins it down at the level of a full deployment run, including message
+traces and read statistics — not just aggregate numbers.
+"""
+
+from repro.hopsfs import HopsFsConfig, build_hopsfs
+from repro.metrics.collectors import MetricsCollector
+from repro.ndb import NdbConfig
+from repro.workloads import ClosedLoopDriver, SpotifyWorkload, generate_namespace
+from repro.workloads.namespace import install_hopsfs
+
+
+def _run_once(seed):
+    fs = build_hopsfs(
+        num_namenodes=2,
+        azs=(1, 2, 3),
+        az_aware=True,
+        ndb_config=NdbConfig(num_datanodes=6, replication=3, az_aware=True),
+        hopsfs_config=HopsFsConfig(
+            election_period_ms=50.0, op_cost_read_ms=0.02, op_cost_mutation_ms=0.04
+        ),
+        seed=seed,
+    )
+    env = fs.env
+    namespace = generate_namespace(num_top_dirs=2, dirs_per_top=4, files_per_dir=8, seed=seed)
+    install_hopsfs(fs, namespace)
+    clients = [fs.client() for _ in range(8)]
+    collector = MetricsCollector()
+    collector.open_window(0)
+    workload = SpotifyWorkload(namespace, seed=seed)
+    driver = ClosedLoopDriver(env, clients, workload, collector)
+
+    def scenario():
+        yield from fs.await_election()
+        driver.start()
+        yield env.timeout(40)
+        driver.stop()
+
+    env.run_process(scenario(), until=120_000)
+    collector.close_window(env.now)
+    fingerprint = (
+        collector.completed,
+        collector.failed,
+        round(sum(collector.latencies_ms), 6),
+        fs.network.traffic.messages,
+        fs.network.traffic.total_bytes,
+        fs.ndb.read_stats.total_reads(),
+        tuple(sorted(fs.ndb.read_stats.by_replica.items())),
+    )
+    return fingerprint
+
+
+def test_identical_seed_identical_run():
+    assert _run_once(5) == _run_once(5)
+
+
+def test_different_seed_different_run():
+    assert _run_once(5) != _run_once(6)

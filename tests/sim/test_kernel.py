@@ -1,0 +1,260 @@
+"""Unit tests for the DES kernel."""
+
+import pytest
+
+from repro.sim import AllOf, AnyOf, Environment, Interrupt, SimulationError
+
+
+def test_timeout_advances_clock():
+    env = Environment()
+
+    def proc():
+        yield env.timeout(5)
+        assert env.now == 5
+        yield env.timeout(2.5)
+        return env.now
+
+    assert env.run_process(proc()) == 7.5
+    assert env.now == 7.5
+
+
+def test_timeout_value_passthrough():
+    env = Environment()
+
+    def proc():
+        got = yield env.timeout(1, value="hello")
+        return got
+
+    assert env.run_process(proc()) == "hello"
+
+
+def test_negative_timeout_rejected():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        env.timeout(-1)
+
+
+def test_event_succeed_wakes_waiter():
+    env = Environment()
+    gate = env.event()
+    log = []
+
+    def waiter():
+        value = yield gate
+        log.append((env.now, value))
+
+    def opener():
+        yield env.timeout(3)
+        gate.succeed(42)
+
+    env.process(waiter())
+    env.process(opener())
+    env.run()
+    assert log == [(3, 42)]
+
+
+def test_event_fail_raises_in_waiter():
+    env = Environment()
+    gate = env.event()
+
+    def waiter():
+        with pytest.raises(ValueError):
+            yield gate
+        return "handled"
+
+    def failer():
+        yield env.timeout(1)
+        gate.fail(ValueError("boom"))
+
+    proc = env.process(waiter())
+    env.process(failer())
+    env.run()
+    assert proc.value == "handled"
+
+
+def test_unhandled_failure_propagates_from_run():
+    env = Environment()
+
+    def bad():
+        yield env.timeout(1)
+        raise RuntimeError("unhandled")
+
+    env.process(bad())
+    with pytest.raises(RuntimeError, match="unhandled"):
+        env.run()
+
+
+def test_event_cannot_trigger_twice():
+    env = Environment()
+    gate = env.event()
+    gate.succeed()
+    with pytest.raises(SimulationError):
+        gate.succeed()
+
+
+def test_process_waits_on_process():
+    env = Environment()
+
+    def child():
+        yield env.timeout(4)
+        return "child-result"
+
+    def parent():
+        result = yield env.process(child())
+        return (env.now, result)
+
+    assert env.run_process(parent()) == (4, "child-result")
+
+
+def test_waiting_on_finished_process_resumes_immediately():
+    env = Environment()
+
+    def child():
+        yield env.timeout(1)
+        return "done"
+
+    def parent():
+        proc = env.process(child())
+        yield env.timeout(10)
+        result = yield proc  # already processed
+        return (env.now, result)
+
+    assert env.run_process(parent()) == (10, "done")
+
+
+def test_interrupt_delivers_cause():
+    env = Environment()
+    caught = []
+
+    def sleeper():
+        try:
+            yield env.timeout(100)
+        except Interrupt as intr:
+            caught.append((env.now, intr.cause))
+
+    def interrupter(target):
+        yield env.timeout(5)
+        target.interrupt("wake-up")
+
+    target = env.process(sleeper())
+    env.process(interrupter(target))
+    env.run()
+    assert caught == [(5, "wake-up")]
+
+
+def test_interrupted_process_can_keep_running():
+    env = Environment()
+
+    def sleeper():
+        try:
+            yield env.timeout(100)
+        except Interrupt:
+            pass
+        yield env.timeout(7)
+        return env.now
+
+    def interrupter(target):
+        yield env.timeout(3)
+        target.interrupt()
+
+    target = env.process(sleeper())
+    env.process(interrupter(target))
+    env.run()
+    assert target.value == 10
+
+
+def test_interrupt_finished_process_is_error():
+    env = Environment()
+
+    def quick():
+        yield env.timeout(1)
+
+    proc = env.process(quick())
+    env.run()
+    with pytest.raises(SimulationError):
+        proc.interrupt()
+
+
+def test_all_of_waits_for_all():
+    env = Environment()
+
+    def proc():
+        t1 = env.timeout(3, value="a")
+        t2 = env.timeout(7, value="b")
+        results = yield AllOf(env, [t1, t2])
+        return (env.now, sorted(results.values()))
+
+    assert env.run_process(proc()) == (7, ["a", "b"])
+
+
+def test_any_of_returns_on_first():
+    env = Environment()
+
+    def proc():
+        t1 = env.timeout(3, value="fast")
+        t2 = env.timeout(7, value="slow")
+        results = yield AnyOf(env, [t1, t2])
+        return (env.now, list(results.values()))
+
+    assert env.run_process(proc()) == (3, ["fast"])
+
+
+def test_all_of_empty_triggers_immediately():
+    env = Environment()
+
+    def proc():
+        yield AllOf(env, [])
+        return env.now
+
+    assert env.run_process(proc()) == 0
+
+
+def test_run_until_stops_clock():
+    env = Environment()
+    ticks = []
+
+    def ticker():
+        while True:
+            yield env.timeout(1)
+            ticks.append(env.now)
+
+    env.process(ticker())
+    env.run(until=5)
+    assert env.now == 5
+    assert ticks == [1, 2, 3, 4, 5]
+
+
+def test_determinism_fifo_at_same_time():
+    """Events scheduled for the same instant fire in schedule order."""
+    env = Environment()
+    order = []
+
+    def proc(tag):
+        yield env.timeout(1)
+        order.append(tag)
+
+    for tag in range(10):
+        env.process(proc(tag))
+    env.run()
+    assert order == list(range(10))
+
+
+def test_yield_non_event_raises():
+    env = Environment()
+
+    def bad():
+        yield 42
+
+    env.process(bad())
+    with pytest.raises(SimulationError):
+        env.run()
+
+
+def test_run_process_detects_deadlock():
+    env = Environment()
+
+    def stuck():
+        yield env.event()  # never triggered
+
+    with pytest.raises(SimulationError, match="deadlock"):
+        env.run_process(stuck())

@@ -1,0 +1,175 @@
+"""Unit tests for CorePool, Store, and Disk."""
+
+import pytest
+
+from repro.sim import CorePool, Disk, Environment, Store
+
+
+def test_corepool_serializes_on_one_core():
+    env = Environment()
+    pool = CorePool(env, cores=1)
+    done_times = []
+
+    def job(cost):
+        yield pool.submit(cost)
+        done_times.append(env.now)
+
+    for cost in (2, 3, 5):
+        env.process(job(cost))
+    env.run()
+    assert done_times == [2, 5, 10]
+    assert pool.busy_time == 10
+    assert pool.jobs_done == 3
+
+
+def test_corepool_parallelism_matches_cores():
+    env = Environment()
+    pool = CorePool(env, cores=3)
+    done_times = []
+
+    def job():
+        yield pool.submit(4)
+        done_times.append(env.now)
+
+    for _ in range(6):
+        env.process(job())
+    env.run()
+    assert done_times == [4, 4, 4, 8, 8, 8]
+    assert pool.busy_time == 24
+
+
+def test_corepool_utilization():
+    env = Environment()
+    pool = CorePool(env, cores=2)
+
+    def job():
+        yield pool.submit(5)
+
+    env.process(job())
+    env.run(until=10)
+    # one of two cores busy for 5 of 10ms -> 25%
+    assert pool.utilization(window=10) == pytest.approx(0.25)
+
+
+def test_corepool_rejects_bad_args():
+    env = Environment()
+    with pytest.raises(ValueError):
+        CorePool(env, cores=0)
+    pool = CorePool(env, cores=1)
+    with pytest.raises(ValueError):
+        pool.submit(-1)
+
+
+def test_corepool_queue_length_visible():
+    env = Environment()
+    pool = CorePool(env, cores=1)
+
+    def producer():
+        for _ in range(4):
+            pool.submit(10)
+        yield env.timeout(0)
+        assert pool.in_service == 1
+        assert pool.queue_length == 3
+
+    env.run_process(producer())
+
+
+def test_store_fifo_order():
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def consumer():
+        for _ in range(3):
+            item = yield store.get()
+            got.append(item)
+
+    def producer():
+        yield env.timeout(1)
+        store.put("a")
+        store.put("b")
+        yield env.timeout(1)
+        store.put("c")
+
+    env.process(consumer())
+    env.process(producer())
+    env.run()
+    assert got == ["a", "b", "c"]
+
+
+def test_store_get_before_put_blocks():
+    env = Environment()
+    store = Store(env)
+    times = []
+
+    def consumer():
+        item = yield store.get()
+        times.append((env.now, item))
+
+    def producer():
+        yield env.timeout(5)
+        store.put("late")
+
+    env.process(consumer())
+    env.process(producer())
+    env.run()
+    assert times == [(5, "late")]
+
+
+def test_store_multiple_getters_fifo():
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def consumer(tag):
+        item = yield store.get()
+        got.append((tag, item))
+
+    env.process(consumer("first"))
+    env.process(consumer("second"))
+
+    def producer():
+        yield env.timeout(1)
+        store.put(1)
+        store.put(2)
+
+    env.process(producer())
+    env.run()
+    assert got == [("first", 1), ("second", 2)]
+
+
+def test_disk_bandwidth_and_queuing():
+    env = Environment()
+    disk = Disk(env, bandwidth_bytes_per_ms=100)
+    done = []
+
+    def writer(nbytes):
+        yield disk.write(nbytes)
+        done.append(env.now)
+
+    env.process(writer(200))  # 2ms
+    env.process(writer(300))  # queued: finishes at 5ms
+    env.run()
+    assert done == [2, 5]
+    assert disk.bytes_written == 500
+    assert disk.busy_time == pytest.approx(5)
+
+
+def test_disk_idle_gap_not_counted_busy():
+    env = Environment()
+    disk = Disk(env, bandwidth_bytes_per_ms=100)
+
+    def writer():
+        yield disk.write(100)  # 1ms
+        yield env.timeout(10)
+        yield disk.write(100)  # 1ms more
+
+    env.run_process(writer())
+    assert disk.busy_time == pytest.approx(2)
+    assert disk.utilization(window=env.now) == pytest.approx(2 / 12)
+
+
+def test_disk_rejects_zero_bandwidth():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Disk(env, bandwidth_bytes_per_ms=0)

@@ -1,0 +1,40 @@
+"""CLI smoke tests."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_list(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "HopsFS-CL (3,3)" in out
+    assert "fig14" in out
+
+
+def test_no_command_prints_help(capsys):
+    assert main([]) == 1
+    assert "usage" in capsys.readouterr().out.lower()
+
+
+def test_table_targets(capsys):
+    assert main(["table1"]) == 0
+    out = capsys.readouterr().out
+    assert "0.399" in out  # the b<->c latency from Table I
+    assert main(["table2"]) == 0
+    out = capsys.readouterr().out
+    assert "LDM" in out
+
+
+def test_point_unknown_setup(capsys):
+    assert main(["point", "NopeFS"]) == 2
+
+
+def test_point_runs(capsys):
+    code = main(
+        ["point", "HopsFS (2,1)", "--servers", "1", "--warmup", "3", "--window", "5"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "throughput" in out
+    assert "ops/s" in out

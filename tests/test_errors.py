@@ -1,0 +1,51 @@
+"""Exception-hierarchy invariants the layers rely on."""
+
+import pytest
+
+from repro import errors
+
+
+def test_everything_is_repro_error():
+    for name in errors.__all__:
+        cls = getattr(errors, name)
+        if isinstance(cls, type) and issubclass(cls, BaseException):
+            assert issubclass(cls, errors.ReproError), name
+
+
+def test_retryable_flag_defaults():
+    exc = errors.TransactionAbortedError("x")
+    assert exc.retryable
+    exc = errors.TransactionAbortedError("x", retryable=False)
+    assert not exc.retryable
+
+
+def test_lock_timeout_is_retryable_abort():
+    exc = errors.LockTimeoutError("waited too long")
+    assert isinstance(exc, errors.TransactionAbortedError)
+    assert isinstance(exc, errors.NdbError)
+    assert exc.retryable
+
+
+def test_fs_error_taxonomy():
+    for cls in (
+        errors.FileNotFoundFsError,
+        errors.FileAlreadyExistsError,
+        errors.NotDirectoryError,
+        errors.DirectoryNotEmptyError,
+        errors.InvalidPathError,
+        errors.LeaseExpiredError,
+        errors.SafeModeError,
+        errors.NoNamenodeError,
+        errors.PlacementError,
+    ):
+        assert issubclass(cls, errors.FsError)
+
+
+def test_network_error_taxonomy():
+    assert issubclass(errors.HostUnreachableError, errors.NetworkError)
+    assert not issubclass(errors.HostUnreachableError, errors.NdbError)
+
+
+def test_fs_and_ndb_trees_are_disjoint():
+    assert not issubclass(errors.FsError, errors.NdbError)
+    assert not issubclass(errors.NdbError, errors.FsError)

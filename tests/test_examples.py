@@ -1,0 +1,53 @@
+"""Example scripts must keep running (protection against doc rot)."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+_EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def _run(name, *args, timeout=240):
+    return subprocess.run(
+        [sys.executable, str(_EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+def test_quickstart_runs():
+    proc = _run("quickstart.py")
+    assert proc.returncode == 0, proc.stderr
+    assert "atomic rename" in proc.stdout
+    assert "AZ-local reads" in proc.stdout
+
+
+def test_az_local_reads_runs():
+    proc = _run("az_local_reads.py")
+    assert proc.returncode == 0, proc.stderr
+    assert "Read Backup ENABLED" in proc.stdout
+    assert "100.0%" in proc.stdout  # RB off: all primary; RB on: all AZ-local
+
+
+def test_az_failure_drill_runs():
+    proc = _run("az_failure_drill.py")
+    assert proc.returncode == 0, proc.stderr
+    assert "no data loss" in proc.stdout
+    assert "exactly one side survived" in proc.stdout
+
+
+def test_trace_replay_runs():
+    proc = _run("trace_replay.py")
+    assert proc.returncode == 0, proc.stderr
+    assert "recorded 300 operations" in proc.stdout
+    assert "HopsFS-CL" in proc.stdout
+
+
+@pytest.mark.slow
+def test_spotify_benchmark_runs():
+    proc = _run("spotify_benchmark.py", "2", timeout=600)
+    assert proc.returncode == 0, proc.stderr
+    assert "ops/s" in proc.stdout

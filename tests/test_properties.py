@@ -1,0 +1,248 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InvalidPathError
+from repro.hopsfs.pathlock import normalize_path, split_path
+from repro.metrics.collectors import percentile
+from repro.ndb import LockMode, LockTable, PartitionMap, stable_hash
+from repro.ndb.cluster import az_assignment_for
+from repro.sim import Environment
+from repro.types import NodeAddress, NodeKind
+
+_settings = settings(max_examples=60, suppress_health_check=[HealthCheck.too_slow], deadline=None)
+
+
+def _nodes(n):
+    return [NodeAddress(NodeKind.NDB_DATANODE, i) for i in range(1, n + 1)]
+
+
+# ----------------------------------------------------------------- partitioning
+@given(
+    replication=st.integers(1, 4),
+    groups=st.integers(1, 6),
+    partitions=st.integers(1, 300),
+    key=st.one_of(st.integers(), st.text(max_size=30), st.tuples(st.integers(), st.text(max_size=8))),
+)
+@_settings
+def test_partition_placement_invariants(replication, groups, partitions, key):
+    pm = PartitionMap(_nodes(replication * groups), replication, partitions)
+    partition = pm.partition_of(key)
+    assert 0 <= partition < partitions
+    rs = pm.replicas(partition)
+    # exactly R distinct replicas, all in one node group
+    assert len(set(rs.all)) == replication
+    group = pm.node_groups[pm.group_of(partition)]
+    assert set(rs.all) == set(group)
+    # chain starts at the primary
+    assert rs.chain[0] == rs.primary
+
+
+@given(st.data())
+@_settings
+def test_promotion_preserves_replica_count(data):
+    replication = data.draw(st.integers(2, 3))
+    groups = data.draw(st.integers(1, 4))
+    pm = PartitionMap(_nodes(replication * groups), replication, 16)
+    victims = data.draw(
+        st.lists(st.sampled_from(pm.datanodes), max_size=replication - 1, unique=True)
+    )
+    for victim in victims:
+        pm.mark_down(victim)
+    for partition in range(16):
+        group = pm.node_groups[pm.group_of(partition)]
+        live_in_group = [n for n in group if pm.is_up(n)]
+        if live_in_group:
+            rs = pm.replicas(partition)
+            assert set(rs.all) == set(live_in_group)
+            assert pm.is_up(rs.primary)
+
+
+@given(
+    n_dn=st.sampled_from([4, 6, 12]),
+    r=st.sampled_from([2, 3]),
+    azs=st.lists(st.integers(1, 3), min_size=1, max_size=3, unique=True),
+)
+@_settings
+def test_az_assignment_groups_never_collapse(n_dn, r, azs):
+    if n_dn % r:
+        return
+    assignment = az_assignment_for(n_dn, r, azs)
+    pm = PartitionMap(_nodes(n_dn), r, 8)
+    by_addr = dict(zip(_nodes(n_dn), assignment))
+    max_per_az = -(-r // len(azs))  # ceil
+    for group in pm.node_groups:
+        group_azs = [by_addr[m] for m in group]
+        for az in set(group_azs):
+            assert group_azs.count(az) <= max_per_az
+
+
+@given(st.binary(max_size=64))
+@_settings
+def test_stable_hash_deterministic(payload):
+    assert stable_hash(payload) == stable_hash(payload)
+    assert stable_hash(payload) >= 0
+
+
+# ------------------------------------------------------------------------ paths
+_name = st.text(
+    alphabet=st.characters(blacklist_characters="/\x00", blacklist_categories=("Cs",)),
+    min_size=1,
+    max_size=12,
+).filter(lambda s: s not in (".", ".."))
+
+
+@given(st.lists(_name, max_size=6))
+@_settings
+def test_split_normalize_roundtrip(components):
+    path = "/" + "/".join(components)
+    assert split_path(path) == components
+    assert split_path(normalize_path(path)) == components
+    # normalization is idempotent
+    assert normalize_path(normalize_path(path)) == normalize_path(path)
+
+
+@given(st.lists(_name, min_size=1, max_size=6))
+@_settings
+def test_redundant_slashes_collapse(components):
+    messy = "/" + "//".join(components) + "/"
+    assert split_path(messy) == components
+
+
+@given(st.text(max_size=10))
+@_settings
+def test_relative_paths_always_rejected(text):
+    if text.startswith("/"):
+        return
+    try:
+        split_path(text)
+        raised = False
+    except InvalidPathError:
+        raised = True
+    assert raised
+
+
+# ------------------------------------------------------------------ percentiles
+@given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=1, max_size=200))
+@_settings
+def test_percentile_bounds_and_monotonicity(values):
+    values = sorted(values)
+    p50 = percentile(values, 50)
+    p90 = percentile(values, 90)
+    p99 = percentile(values, 99)
+    assert values[0] <= p50 <= values[-1]
+    assert values[0] <= p99 <= values[-1]
+    eps = 1e-9 * max(1.0, values[-1])
+    assert p50 <= p90 + eps
+    assert p90 <= p99 + eps
+    assert percentile(values, 0) == values[0]
+    assert percentile(values, 100) == values[-1]
+
+
+# ----------------------------------------------------------------------- locks
+@given(st.data())
+@_settings
+def test_lock_table_exclusivity_invariant(data):
+    """Random lock/release schedules never grant X alongside another lock."""
+    env = Environment()
+    locks = LockTable(env, deadlock_timeout_ms=50)
+    txids = list(range(1, 5))
+    keys = ["a", "b"]
+    steps = data.draw(
+        st.lists(
+            st.tuples(
+                st.sampled_from(txids),
+                st.sampled_from(keys),
+                st.sampled_from([LockMode.SHARED, LockMode.EXCLUSIVE, "release"]),
+            ),
+            max_size=20,
+        )
+    )
+
+    def actor(txid, key, mode):
+        if mode == "release":
+            locks.release_all(txid)
+            return
+            yield  # pragma: no cover
+        try:
+            yield locks.acquire(txid, key, mode)
+        except Exception:
+            pass
+
+    def schedule():
+        for txid, key, mode in steps:
+            if mode == "release":
+                locks.release_all(txid)
+            else:
+                env.process(actor(txid, key, mode))
+            yield env.timeout(1)
+            _check_invariant(locks)
+
+    def _check_invariant(locks):
+        for key, row in locks._rows.items():
+            modes = list(row.holders.values())
+            if LockMode.EXCLUSIVE in modes:
+                assert len(modes) == 1, f"X lock shared on {key}: {row.holders}"
+
+    env.run_process(schedule(), until=10_000)
+    env.run(until=1_000)
+
+
+# --------------------------------------------------------------------- subtree
+@given(
+    ranks=st.integers(1, 64),
+    pinned=st.booleans(),
+    path=st.lists(_name, min_size=1, max_size=5).map(lambda cs: "/" + "/".join(cs)),
+)
+@_settings
+def test_subtree_ranks_in_range(ranks, pinned, path):
+    from repro.cephfs import SubtreePartitioner
+
+    p = SubtreePartitioner(ranks, pinned=pinned)
+    assert 0 <= p.rank_of(path) < ranks
+    assert 0 <= p.dir_rank(path) < ranks
+    # a file and its directory listing agree on the serving rank
+    assert p.rank_of(path + "/leaf") == p.dir_rank(path)
+
+
+@given(st.lists(st.tuples(st.integers(0, 7), st.integers(0, 7)), max_size=10))
+@_settings
+def test_subtree_override_resolution_terminates(overrides):
+    from repro.cephfs import SubtreePartitioner
+
+    p = SubtreePartitioner(8, pinned=False)
+    for dead, takeover in overrides:
+        p.install_override(dead, takeover)
+    for rank in range(8):
+        resolved = p._resolve_override(rank)  # must not loop forever
+        assert 0 <= resolved < 8
+
+
+# ----------------------------------------------------------------------- trace
+@given(
+    st.lists(
+        st.sampled_from(
+            ["mkdir", "createFile", "readFile", "deleteFile", "stat", "listDir", "exists"]
+        ),
+        min_size=1,
+        max_size=20,
+    )
+)
+@_settings
+def test_trace_roundtrip(op_names):
+    from repro.types import OpType
+    from repro.workloads.trace import TraceWorkload, format_trace_line, parse_trace_line
+
+    lines = []
+    for i, name in enumerate(op_names):
+        op = OpType(name)
+        lines.append(format_trace_line(op, {"path": f"/p/f{i}"}))
+    workload = TraceWorkload(lines, loop=False)
+    assert len(workload) == len(op_names)
+    for name in op_names:
+        op, kwargs = workload.next_op()
+        assert op is OpType(name)
+        assert kwargs["path"].startswith("/p/f")

@@ -1,0 +1,102 @@
+"""Trace record/replay tests."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.types import OpType
+from repro.workloads.trace import (
+    TraceWorkload,
+    format_trace_line,
+    parse_trace_line,
+    write_trace,
+)
+
+from ..hopsfs.conftest import make_fs, run
+
+
+def test_parse_and_format_roundtrip():
+    cases = [
+        (OpType.CREATE_FILE, {"path": "/a/f", "data": b""}),
+        (OpType.READ_FILE, {"path": "/a/f"}),
+        (OpType.RENAME, {"src": "/a/f", "dst": "/a/g"}),
+        (OpType.MKDIR, {"path": "/a"}),
+    ]
+    for op, kwargs in cases:
+        line = format_trace_line(op, kwargs)
+        parsed_op, parsed_kwargs = parse_trace_line(line)
+        assert parsed_op is op
+        for key in ("path", "src", "dst"):
+            if key in kwargs:
+                assert parsed_kwargs[key] == kwargs[key]
+
+
+def test_parse_skips_comments_and_blanks():
+    assert parse_trace_line("") is None
+    assert parse_trace_line("# comment") is None
+    assert parse_trace_line("   ") is None
+
+
+def test_parse_rejects_garbage():
+    with pytest.raises(ReproError):
+        parse_trace_line("frobnicate /x")
+    with pytest.raises(ReproError):
+        parse_trace_line("rename /only-one")
+    with pytest.raises(ReproError):
+        parse_trace_line("readFile")
+
+
+def test_write_and_load_trace(tmp_path):
+    path = tmp_path / "ops.trace"
+    ops = [
+        (OpType.MKDIR, {"path": "/t"}),
+        (OpType.CREATE_FILE, {"path": "/t/f", "data": b""}),
+        (OpType.READ_FILE, {"path": "/t/f"}),
+    ]
+    assert write_trace(path, ops) == 3
+    workload = TraceWorkload(path, loop=False)
+    assert len(workload) == 3
+    assert workload.next_op()[0] is OpType.MKDIR
+
+
+def test_trace_loops_by_default():
+    workload = TraceWorkload(["readFile /f"], loop=True)
+    for _ in range(5):
+        op, kwargs = workload.next_op()
+        assert op is OpType.READ_FILE
+    assert workload.replayed == 5
+
+
+def test_empty_trace_rejected():
+    with pytest.raises(ReproError):
+        TraceWorkload(["# nothing here"])
+
+
+def test_trace_replay_against_real_deployment():
+    """Replay a small recorded trace through the full HopsFS stack."""
+    fs = make_fs()
+    client = fs.client()
+    trace = TraceWorkload(
+        [
+            "mkdir /replay",
+            "createFile /replay/a",
+            "createFile /replay/b",
+            "rename /replay/a /replay/c",
+            "readFile /replay/c",
+            "listDir /replay",
+            "deleteFile /replay/b",
+        ],
+        loop=False,
+    )
+
+    def scenario():
+        results = []
+        while not trace.exhausted:
+            op, kwargs = trace.next_op()
+            result = yield from client.op(op, **kwargs)
+            results.append((op, result))
+        return results
+
+    results = run(fs, scenario())
+    listing = [r for op, r in results if op is OpType.LIST_DIR][0]
+    assert listing == ["b", "c"]
+    assert trace.replayed == 7
