@@ -156,7 +156,8 @@ class Mds:
         if not holders:
             return
         yield self.cpu.submit(self.config.mds_cap_revoke_cost_ms * len(holders))
-        for holder in holders:
+        # Sorted: revoke-message order must not depend on set iteration order.
+        for holder in sorted(holders):
             self.network.send(
                 Message(src=self.addr, dst=holder, kind="cap_revoke", payload=path, size=96)
             )

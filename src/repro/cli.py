@@ -9,6 +9,10 @@ Usage:
 
 Scale knobs are the same as the benchmark suite's: REPRO_BENCH_FULL=1 for
 the paper's full server grid, REPRO_BENCH_SCALE for window scaling.
+
+``python -m repro perf`` runs the kernel performance harness (events/sec
+microbenchmark plus one timed Figure 5 point) and writes BENCH_kernel.json;
+see DESIGN.md's "Kernel performance" section.
 """
 
 from __future__ import annotations
@@ -61,6 +65,39 @@ def _cmd_point(args) -> int:
     return 0
 
 
+def _cmd_perf(args) -> int:
+    # Imported lazily: the perf harness pulls in the whole experiment stack.
+    from .experiments.perf import run_perf
+
+    baseline = None
+    if args.baseline:
+        import json
+
+        try:
+            with open(args.baseline) as fh:
+                data = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"python -m repro perf: cannot read --baseline {args.baseline}: {exc}")
+            return 2
+        baseline = data.get("pre_pr_baseline", data)
+    report = run_perf(out_path=args.out, baseline=baseline)
+    micro = report["microbench"]
+    fig5 = report["fig5_point"]
+    print(f"microbench:  {micro['events_per_sec']:,} events/s "
+          f"({micro['events']:,} events in {micro['wall_s']:.2f}s, best of "
+          f"{len(micro['events_per_sec_runs'])})")
+    print(f"fig5 point:  {fig5['events_per_sec']:,} events/s "
+          f"({fig5['setup']} @ {fig5['servers']} servers, "
+          f"{fig5['throughput_ops_s']:,.0f} simulated ops/s)")
+    print(f"peak RSS:    {report['peak_rss_mb']:.1f} MB")
+    for key in ("microbench_speedup_vs_pre_pr", "fig5_speedup_vs_pre_pr"):
+        if key in report:
+            print(f"{key}: {report[key]:.2f}x")
+    if args.out:
+        print(f"wrote {args.out}")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro", description=__doc__,
@@ -74,6 +111,13 @@ def main(argv=None) -> int:
     point.add_argument("--warmup", type=float, default=15.0)
     point.add_argument("--window", type=float, default=15.0)
     point.set_defaults(func=_cmd_point)
+
+    perf = sub.add_parser("perf", help="run the kernel perf harness")
+    perf.add_argument("--out", default="BENCH_kernel.json",
+                      help="output JSON path (default BENCH_kernel.json)")
+    perf.add_argument("--baseline", default=None,
+                      help="existing BENCH_kernel.json whose pre_pr_baseline to carry over")
+    perf.set_defaults(func=_cmd_perf)
 
     sub.add_parser("list", help="list targets and setups")
     for target in _TARGETS + ["all"]:
@@ -90,7 +134,7 @@ def main(argv=None) -> int:
         for name in SETUPS:
             print(f"  {name}")
         return 0
-    if command == "point":
+    if command in ("point", "perf"):
         return args.func(args)
     targets = _TARGETS if command == "all" else [command] + [
         t for t in extra if t in _TARGETS

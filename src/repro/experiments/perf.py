@@ -1,0 +1,210 @@
+"""Kernel performance harness: events/sec, wall time and peak RSS.
+
+Two measurements, both deterministic in simulated behaviour (only the
+wall-clock numbers vary between machines):
+
+* :func:`kernel_microbench` — a pure-kernel events/sec microbenchmark that
+  exercises the hot paths the figure runs lean on (``yield env.timeout``,
+  Store handoffs, CorePool job completion callbacks, waits on
+  already-processed events).  No domain code, so it isolates the DES
+  engine itself.
+* :func:`fig5_reference_point` — one fixed Figure 5 point
+  (``HopsFS-CL (3,3)`` at 6 namenodes), timing the full stack and
+  reporting the kernel's events/sec alongside the simulated throughput.
+
+``python -m repro perf`` runs both and writes ``BENCH_kernel.json`` so the
+perf trajectory is tracked PR-over-PR; CI fails when the microbench
+regresses more than 20% against the committed file.
+
+The harness honours ``REPRO_BENCH_SCALE`` the same way the benchmark suite
+does: the fig5 point's warmup/measurement windows scale with it (see
+:func:`repro.experiments.runner.bench_scale`), and the microbench horizon
+scales with it too, so a quick smoke run is ``REPRO_BENCH_SCALE=0.1``.
+"""
+
+from __future__ import annotations
+
+import json
+import resource
+import time
+from typing import Optional
+
+from ..sim import CorePool, Environment, Store
+from .runner import RunConfig, bench_scale, run_point
+
+__all__ = [
+    "kernel_microbench",
+    "fig5_reference_point",
+    "run_perf",
+    "REFERENCE_SETUP",
+    "REFERENCE_SERVERS",
+]
+
+REFERENCE_SETUP = "HopsFS-CL (3,3)"
+REFERENCE_SERVERS = 6
+
+# Microbench population: sized so one run takes O(seconds) at scale 1.
+# Weighted like a figure run: message handoffs (every simulated RPC is a
+# mailbox Store put/get) and CPU-pool completions (every handler charges a
+# CorePool) dominate; pure sleep loops (heartbeats, election timers) are a
+# minority of kernel traffic.
+_TICKERS = 100
+_PINGPONG_PAIRS = 150
+_POOL_CLIENTS = 150
+_WAITER_CHAINS = 50
+_HORIZON_MS = 2_000.0
+# Best-of-N wall-clock protocol: simulated behaviour is identical across
+# repeats (same event count, same trace); only the wall clock is noisy, and
+# the minimum is the least-interfered-with measurement.
+_MICROBENCH_REPEATS = 5
+
+
+def _peak_rss_mb() -> float:
+    # ru_maxrss is KiB on Linux, bytes on macOS; the repo targets Linux.
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+
+
+def _build_microbench(env: Environment) -> None:
+    """Spawn the microbenchmark population on ``env``.
+
+    The mix mirrors what a figure run does to the kernel: mostly timeout
+    waits, plus mailbox handoffs (Store), CPU-pool completion events, and
+    re-waits on already-processed events (the wakeup fast path).
+    """
+
+    # Bound methods are hoisted out of the loops so the measurement is of
+    # the kernel, not of the driver generators' attribute lookups (the same
+    # reason ``timeit`` hoists globals into locals).
+
+    def ticker(period: float):
+        # The dominant pattern in every simulated component: sleep loops.
+        timeout = env.timeout
+        while True:
+            yield timeout(period)
+
+    def producer(store: Store, period: float):
+        timeout = env.timeout
+        put = store.put
+        n = 0
+        while True:
+            yield timeout(period)
+            put(n)
+            n += 1
+
+    def consumer(store: Store):
+        get = store.get
+        while True:
+            yield get()
+
+    def pool_client(pool: CorePool, cost: float, think: float):
+        timeout = env.timeout
+        submit = pool.submit
+        while True:
+            yield submit(cost)
+            yield timeout(think)
+
+    def rewaiter(period: float):
+        # Waits on an event that is already processed by the time the
+        # second wait happens — exercises the processed-target wakeup path.
+        timeout = env.timeout
+        while True:
+            done = timeout(period)
+            yield done
+            yield done  # already processed: immediate (next-step) wakeup
+
+    for i in range(_TICKERS):
+        env.process(ticker(0.5 + (i % 7) * 0.1), name=f"ticker{i}")
+    for i in range(_PINGPONG_PAIRS):
+        store = Store(env, name=f"s{i}")
+        env.process(producer(store, 0.7 + (i % 5) * 0.1), name=f"prod{i}")
+        env.process(consumer(store), name=f"cons{i}")
+    pool = CorePool(env, cores=8, name="bench-pool")
+    for i in range(_POOL_CLIENTS):
+        env.process(pool_client(pool, 0.05, 0.4 + (i % 3) * 0.1), name=f"job{i}")
+    for i in range(_WAITER_CHAINS):
+        env.process(rewaiter(0.9 + (i % 4) * 0.1), name=f"rewait{i}")
+
+
+def kernel_microbench(
+    horizon_ms: Optional[float] = None, repeats: int = _MICROBENCH_REPEATS
+) -> dict:
+    """Run the kernel-only microbenchmark; returns events/sec stats.
+
+    Runs ``repeats`` independent, behaviourally-identical passes and
+    reports the fastest (best-of-N), which is the standard way to reject
+    scheduler/cache interference when benchmarking a deterministic
+    workload.  All per-pass rates are included for transparency.
+    """
+    horizon = horizon_ms if horizon_ms is not None else _HORIZON_MS * bench_scale()
+    best_wall = None
+    events = 0
+    rates = []
+    for _ in range(max(1, repeats)):
+        env = Environment()
+        _build_microbench(env)
+        start = time.perf_counter()
+        env.run(until=horizon)
+        wall = time.perf_counter() - start
+        events = env._seq
+        rates.append(round(events / wall) if wall > 0 else 0)
+        if best_wall is None or wall < best_wall:
+            best_wall = wall
+    return {
+        "horizon_ms": horizon,
+        "events": events,
+        "wall_s": round(best_wall, 4),
+        "events_per_sec": max(rates),
+        "events_per_sec_runs": rates,
+    }
+
+
+def fig5_reference_point() -> dict:
+    """Time the fixed Figure 5 reference point end to end."""
+    config = RunConfig(warmup_ms=15.0, window_ms=15.0)
+    start = time.perf_counter()
+    point = run_point(REFERENCE_SETUP, REFERENCE_SERVERS, config=config)
+    wall = time.perf_counter() - start
+    events = point.events
+    return {
+        "setup": REFERENCE_SETUP,
+        "servers": REFERENCE_SERVERS,
+        "bench_scale": bench_scale(),
+        "events": events,
+        "wall_s": round(wall, 4),
+        "events_per_sec": round(events / wall) if wall > 0 else 0,
+        "throughput_ops_s": round(point.throughput_ops_s, 3),
+        "avg_latency_ms": round(point.avg_latency_ms, 6),
+        "completed": point.completed,
+    }
+
+
+def run_perf(out_path: Optional[str] = None, baseline: Optional[dict] = None) -> dict:
+    """Run both measurements; optionally write ``out_path`` as JSON.
+
+    ``baseline`` (the committed pre-PR numbers) is carried through verbatim
+    so the speedup history stays in the file.
+    """
+    micro = kernel_microbench()
+    fig5 = fig5_reference_point()
+    report = {
+        "microbench": micro,
+        "fig5_point": fig5,
+        "peak_rss_mb": round(_peak_rss_mb(), 1),
+    }
+    if baseline:
+        report["pre_pr_baseline"] = baseline
+        base_eps = baseline.get("microbench", {}).get("events_per_sec")
+        if base_eps:
+            report["microbench_speedup_vs_pre_pr"] = round(
+                micro["events_per_sec"] / base_eps, 2
+            )
+        base_fig5 = baseline.get("fig5_point", {}).get("events_per_sec")
+        if base_fig5:
+            report["fig5_speedup_vs_pre_pr"] = round(
+                fig5["events_per_sec"] / base_fig5, 2
+            )
+    if out_path:
+        with open(out_path, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    return report

@@ -80,6 +80,9 @@ class PointResult:
     resource: ResourceReport
     per_server_ops_s: float = 0.0
     mds_requests_s: Optional[float] = None
+    # Total kernel events dispatched during the run (the DES sequence
+    # counter) — the numerator of the perf harness's events/sec.
+    events: int = 0
     extra: dict = field(default_factory=dict)
 
     def percentiles_for(self, op: OpType, collector: MetricsCollector):
@@ -159,6 +162,7 @@ def run_point(
         failed=collector.failed,
         resource=resource,
         per_server_ops_s=collector.throughput_ops_per_sec() / max(1, num_servers),
+        events=env._seq,
     )
     if hasattr(adapter, "mds_requests_since"):
         window_s = collector.window_ms / 1000.0

@@ -216,7 +216,9 @@ class CephAdapter:
         if not hasattr(workload, "working_set"):
             return
         for index, client in enumerate(clients):
-            for path in set(workload.working_set(index)):
+            # dict.fromkeys = order-preserving dedupe; set() would make the
+            # warm order (and thus cap-set contents) hash-seed dependent.
+            for path in dict.fromkeys(workload.working_set(index)):
                 rank = self.cluster.partitioner.rank_of(path) % len(self.cluster.mds_list)
                 mds = self.cluster.mds_list[rank]
                 inode = mds.shard.inodes.get(path)

@@ -291,7 +291,9 @@ class NdbCluster:
                         dn.store.load(table.name, pk, row.partition_key, TOMBSTONE)
 
     def shutdown_component(self, addrs: set[NodeAddress], reason: str) -> None:
-        for addr in addrs:
+        # Sorted so shutdown order is deterministic across processes (the
+        # caller passes a set, whose iteration order is hash-seed dependent).
+        for addr in sorted(addrs):
             dn = self.datanodes.get(addr)
             if dn is not None and dn.running:
                 dn.shutdown(reason)

@@ -82,7 +82,10 @@ class _TcTxn:
     client_az: AzId
     ops: dict[int, _RowOp] = field(default_factory=dict)
     # Nodes where LDM threads hold read locks on our behalf -> row keys.
-    read_locks: dict[NodeAddress, set] = field(default_factory=dict)
+    # Keys are stored as an insertion-ordered dict-of-None (not a set) so
+    # that release order — and therefore message order — is deterministic
+    # regardless of PYTHONHASHSEED.
+    read_locks: dict[NodeAddress, dict] = field(default_factory=dict)
     next_seq: int = 0
     finished: bool = False
     last_active_ms: float = 0.0
@@ -170,7 +173,7 @@ class NdbDatanode:
     def _send(self, dst: NodeAddress, kind: str, payload: Any, size: int):
         """Charge the SEND thread, then put the message on the wire."""
         done = self.send_pool.submit(self.costs.send_msg)
-        done.callbacks.append(
+        done.add_callback(
             lambda _e: self.network.send(
                 Message(src=self.addr, dst=dst, kind=kind, payload=payload, size=size)
             )
@@ -180,7 +183,7 @@ class NdbDatanode:
 
     def _reply(self, request: Message, payload: Any = None, ok: bool = True, size: int = 128):
         done = self.send_pool.submit(self.costs.send_msg)
-        done.callbacks.append(
+        done.add_callback(
             lambda _e: self.network.reply(request, payload=payload, ok=ok, size=size)
             if self.running
             else None
@@ -257,7 +260,7 @@ class NdbDatanode:
         )
         if req.lock is not LockMode.NONE:
             txn = self._txn(req.txid, req.client_az)  # refreshes last_active
-            txn.read_locks.setdefault(node, set()).add((req.table, req.pk))
+            txn.read_locks.setdefault(node, {})[(req.table, req.pk)] = None
         if node == self.addr:
             try:
                 value = yield from self._ldm_read_local(ldm_req)
@@ -551,23 +554,23 @@ class NdbDatanode:
         # Rows in the write set keep their X locks until the commit chain
         # applies them at the primary; only read-only locks go now.
         written = {(op.table, op.pk) for op in txn.ops.values()}
-        for node, keys in txn.read_locks.items():
-            keys = keys - written
+        for node, held in txn.read_locks.items():
+            keys = [k for k in held if k not in written]
             if not keys:
                 continue
             if node == self.addr:
                 for key in keys:
                     self.locks.release(txn.txid, key)
             else:
-                release = ReleaseLocksMsg(txid=txn.txid, keys=frozenset(keys))
+                release = ReleaseLocksMsg(txid=txn.txid, keys=tuple(keys))
                 self._send(node, "release_locks", release, size=64)
         txn.read_locks.clear()
 
     def _abort_cleanup(self, txn: _TcTxn) -> None:
         """Undo prepared rows and release all locks for an aborted txn."""
-        touched: set[NodeAddress] = set(txn.read_locks)
+        touched: dict[NodeAddress, None] = dict.fromkeys(txn.read_locks)
         for op in txn.ops.values():
-            touched.update(op.chain)
+            touched.update(dict.fromkeys(op.chain))
         for node in touched:
             if node == self.addr:
                 self.store.abort_all(txn.txid)

@@ -45,9 +45,13 @@ class LockTable:
         self.env = env
         self.deadlock_timeout_ms = deadlock_timeout_ms
         self._rows: dict[Hashable, _RowLock] = {}
-        # txid -> set of row keys it holds or waits on (for release_all)
-        self._by_txn: dict[int, set[Hashable]] = {}
+        # txid -> row keys it holds or waits on (for release_all).  Stored
+        # as an insertion-ordered dict-of-None rather than a set so that
+        # release order is deterministic across processes (set iteration
+        # order depends on PYTHONHASHSEED; lock hand-off order must not).
+        self._by_txn: dict[int, dict[Hashable, None]] = {}
         self.timeouts_fired = 0
+        self._expire_cb = self._expire
 
     # -- public API -----------------------------------------------------------
     def acquire(self, txid: int, key: Hashable, mode: LockMode) -> Event:
@@ -74,9 +78,8 @@ class LockTable:
             row.queue.appendleft(request)
         else:
             row.queue.append(request)
-        self._by_txn.setdefault(txid, set()).add(key)
-        timer = self.env.timeout(self.deadlock_timeout_ms)
-        timer.callbacks.append(lambda _t, r=request, k=key: self._expire(r, k))
+        self._by_txn.setdefault(txid, {})[key] = None
+        self.env.schedule_after(self.deadlock_timeout_ms, self._expire_cb, (request, key))
         return event
 
     def release(self, txid: int, key: Hashable) -> None:
@@ -87,14 +90,14 @@ class LockTable:
         if row.holders.pop(txid, None) is not None:
             keys = self._by_txn.get(txid)
             if keys is not None:
-                keys.discard(key)
+                keys.pop(key, None)
                 if not keys:
                     del self._by_txn[txid]
         self._pump(row, key)
 
     def release_all(self, txid: int) -> None:
         """Release every lock held (or awaited) by ``txid``."""
-        keys = self._by_txn.pop(txid, set())
+        keys = self._by_txn.pop(txid, ())
         for key in keys:
             row = self._rows.get(key)
             if row is None:
@@ -119,7 +122,7 @@ class LockTable:
         return held is not None and self._covers(held, mode)
 
     def held_keys(self, txid: int) -> set[Hashable]:
-        return set(self._by_txn.get(txid, set()))
+        return set(self._by_txn.get(txid, ()))
 
     @property
     def active_rows(self) -> int:
@@ -150,7 +153,7 @@ class LockTable:
     def _grant(self, row: _RowLock, request: _LockRequest, key: Hashable) -> None:
         request.granted = True
         row.holders[request.txid] = request.mode
-        self._by_txn.setdefault(request.txid, set()).add(key)
+        self._by_txn.setdefault(request.txid, {})[key] = None
         if not request.event.triggered:
             request.event.succeed()
 
@@ -167,7 +170,8 @@ class LockTable:
         if row.idle:
             self._rows.pop(key, None)
 
-    def _expire(self, request: _LockRequest, key: Hashable) -> None:
+    def _expire(self, timer: tuple) -> None:
+        request, key = timer
         if request.granted or request.abandoned or request.event.triggered:
             return
         request.abandoned = True

@@ -148,7 +148,9 @@ class ReleaseLocksMsg:
     """
 
     txid: int
-    keys: Optional[frozenset] = None
+    # Ordered tuple (not a set): the receiving LDM releases in this order,
+    # which must be deterministic across processes.
+    keys: Optional[tuple] = None
 
 
 # -- chain acknowledgements (one-way, back to the TC) -----------------------------

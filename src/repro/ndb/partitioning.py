@@ -78,15 +78,21 @@ class PartitionMap:
             tuple(self.datanodes[g::self.num_groups]) for g in range(self.num_groups)
         ]
         self._down: set[NodeAddress] = set()
+        # Memo caches: partition_of is a pure function of the key;
+        # replica sets only change when the down-set changes.
+        self._partition_cache: dict = {}
+        self._replica_cache: dict = {}
 
     # -- liveness -----------------------------------------------------------
     def mark_down(self, node: NodeAddress) -> None:
         if node not in self.datanodes:
             raise ConfigError(f"{node} is not an NDB datanode")
         self._down.add(node)
+        self._replica_cache.clear()
 
     def mark_up(self, node: NodeAddress) -> None:
         self._down.discard(node)
+        self._replica_cache.clear()
 
     def is_up(self, node: NodeAddress) -> bool:
         return node not in self._down
@@ -103,7 +109,12 @@ class PartitionMap:
 
     # -- placement ------------------------------------------------------------
     def partition_of(self, partition_key: Hashable) -> int:
-        return stable_hash(partition_key) % self.num_partitions
+        try:
+            return self._partition_cache[partition_key]
+        except KeyError:
+            partition = stable_hash(partition_key) % self.num_partitions
+            self._partition_cache[partition_key] = partition
+            return partition
 
     def group_of(self, partition: int) -> int:
         return partition % self.num_groups
@@ -120,6 +131,16 @@ class PartitionMap:
 
     def replicas(self, partition: int, fully_replicated: bool = False) -> ReplicaSet:
         """Current replica set (failure promotions applied), primary first."""
+        key = (partition, fully_replicated)
+        try:
+            return self._replica_cache[key]
+        except KeyError:
+            pass
+        result = self._replicas_uncached(partition, fully_replicated)
+        self._replica_cache[key] = result
+        return result
+
+    def _replicas_uncached(self, partition: int, fully_replicated: bool) -> ReplicaSet:
         if fully_replicated:
             chain: list[NodeAddress] = []
             for g in range(self.num_groups):

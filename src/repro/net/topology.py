@@ -64,6 +64,14 @@ class Topology:
         default_factory=lambda: dict(TABLE1_LATENCY_MS)
     )
     hosts: dict[NodeAddress, Host] = field(default_factory=dict)
+    # Memo caches for the per-message lookups (latency/az_of/same_vm/
+    # proximity_rank).  Placement is immutable after setup except through
+    # add_host(), which invalidates them.  Pure caches: never iterated,
+    # so they cannot affect determinism.
+    _az_cache: dict = field(default_factory=dict, repr=False, compare=False)
+    _latency_cache: dict = field(default_factory=dict, repr=False, compare=False)
+    _same_vm_cache: dict = field(default_factory=dict, repr=False, compare=False)
+    _rank_cache: dict = field(default_factory=dict, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if not self.az_names:
@@ -95,6 +103,10 @@ class Topology:
             raise ConfigError(f"colocation target {colocated_with} unknown")
         host = Host(address=address, az=az, cores=cores, colocated_with=colocated_with)
         self.hosts[address] = host
+        self._az_cache.clear()
+        self._latency_cache.clear()
+        self._same_vm_cache.clear()
+        self._rank_cache.clear()
         return host
 
     def host(self, address: NodeAddress) -> Host:
@@ -104,9 +116,24 @@ class Topology:
             raise ConfigError(f"unknown host {address}") from None
 
     def az_of(self, address: NodeAddress) -> AzId:
-        return self.host(address).az
+        try:
+            return self._az_cache[address]
+        except KeyError:
+            az = self.host(address).az
+            self._az_cache[address] = az
+            return az
 
     def same_vm(self, a: NodeAddress, b: NodeAddress) -> bool:
+        key = (a, b)
+        try:
+            return self._same_vm_cache[key]
+        except KeyError:
+            pass
+        result = self._same_vm_uncached(a, b)
+        self._same_vm_cache[key] = result
+        return result
+
+    def _same_vm_uncached(self, a: NodeAddress, b: NodeAddress) -> bool:
         if a == b:
             return True
         ha, hb = self.host(a), self.host(b)
@@ -124,9 +151,17 @@ class Topology:
 
     def latency(self, src: NodeAddress, dst: NodeAddress) -> float:
         """One-way delay between two hosts, per Table I."""
+        key = (src, dst)
+        try:
+            return self._latency_cache[key]
+        except KeyError:
+            pass
         if self.same_vm(src, dst):
-            return SAME_HOST_LATENCY_MS
-        return self.az_pair_latency(self.az_of(src), self.az_of(dst))
+            value = SAME_HOST_LATENCY_MS
+        else:
+            value = self.az_pair_latency(self.az_of(src), self.az_of(dst))
+        self._latency_cache[key] = value
+        return value
 
     def hosts_in_az(self, az: AzId) -> list[Host]:
         return [h for h in self.hosts.values() if h.az == az]
@@ -137,11 +172,19 @@ class Topology:
         0: same host and same AZ; 1: different hosts, same AZ;
         2: different hosts, different AZs.
         """
+        key = (a, b)
+        try:
+            return self._rank_cache[key]
+        except KeyError:
+            pass
         if self.same_vm(a, b):
-            return 0
-        if self.az_of(a) == self.az_of(b):
-            return 1
-        return 2
+            rank = 0
+        elif self.az_of(a) == self.az_of(b):
+            rank = 1
+        else:
+            rank = 2
+        self._rank_cache[key] = rank
+        return rank
 
 
 def build_us_west1(extra_azs: Iterable[str] = ()) -> Topology:

@@ -9,12 +9,39 @@ increasing counter, so two runs with the same seed replay identically.
 
 Time is a float in **milliseconds** throughout the repository; the paper's
 latency tables are given in milliseconds, which makes traces easy to read.
+
+Hot-path design (see DESIGN.md §4 "Kernel performance"):
+
+* Every kernel object carries ``__slots__`` — a figure run allocates
+  hundreds of thousands of events, and dict-backed instances double both
+  allocation cost and memory traffic.
+* Events hold their first waiter in an inline slot (``_cb1``) instead of a
+  per-event callback list: almost every event has exactly one waiter, so
+  the common case allocates no list at all.  Extra waiters overflow into
+  ``_cbs`` (allocated lazily).
+* A process that yields an *already processed* event is re-armed with a
+  lightweight :class:`_Wakeup` heap entry instead of a freshly allocated
+  ``Event``; staleness (interrupt delivered in between) is detected with a
+  per-process wake generation counter.
+* :meth:`Environment.schedule_at` / :meth:`Environment.schedule_after`
+  schedule a bare ``fn(arg)`` callback through a :class:`_Deferred` heap
+  entry — no Event, no value, no processed state.  The network and the
+  CPU/disk resources use it for message delivery and job completion, so an
+  RPC round costs O(1) kernel events instead of O(messages).
+* ``Environment.run`` inlines the dispatch loop with ``heappop`` and all
+  per-step attribute lookups hoisted into locals.
+
+All fast paths consume exactly one sequence number per scheduling decision
+— the same points at which the pre-refactor kernel consumed them — so the
+(time, priority, sequence) trace of a run is bit-for-bit identical to the
+straightforward implementation (``tests/sim/test_determinism.py`` pins
+this against a committed golden trace hash).
 """
 
 from __future__ import annotations
 
-import heapq
-from typing import Any, Callable, Generator, Iterable, Optional
+from heapq import heappop, heappush
+from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
 
 __all__ = [
     "Environment",
@@ -34,6 +61,29 @@ PRIORITY_NORMAL = 1
 
 # Sentinel distinguishing "no value yet" from a legitimate ``None`` value.
 _PENDING = object()
+# Sentinel stored in an event's inline callback slot once its callbacks have
+# run: distinguishes "processed" from "pending with no waiters yet" (None).
+_PROCESSED = object()
+# Dispatch markers: _Deferred and _Wakeup expose them as a class-level
+# ``_cb1`` so the run loop classifies any heap entry with the single slot
+# load it needs anyway, instead of an extra ``__class__`` check.
+_DEFERRED_MARK = object()
+_WAKEUP_MARK = object()
+_HORIZON_MARK = object()
+
+
+class _Horizon:
+    """Sentinel heap entry marking a run's ``until`` horizon.
+
+    Pushed once per ``run(until=...)`` call so the dispatch loop needs no
+    per-iteration peek at the queue head.  Sorts after every real entry at
+    the same time (priority 2 > PRIORITY_NORMAL, infinite sequence), and
+    consumes no sequence number.  A stale sentinel from an aborted earlier
+    run is recognised by identity and skipped.
+    """
+
+    __slots__ = ()
+    _cb1 = _HORIZON_MARK
 
 
 class SimulationError(RuntimeError):
@@ -51,6 +101,45 @@ class Interrupt(Exception):
         self.cause = cause
 
 
+class _Deferred:
+    """Lightweight heap entry: call ``fn(arg)`` when its time arrives.
+
+    Much cheaper than a full :class:`Event` for fire-and-forget callbacks
+    (message delivery, CPU job completion, lock expiry): no value, no
+    waiter slots, no processed state, nothing to defuse.  ``fn``/``arg``
+    are deliberately mutable so the network layer can coalesce several
+    same-instant deliveries into one heap entry (see
+    ``Network._schedule_delivery``).
+    """
+
+    __slots__ = ("fn", "arg")
+    _cb1 = _DEFERRED_MARK  # run-loop dispatch marker (class attribute)
+
+    def __init__(self, fn: Callable[[Any], None], arg: Any):
+        self.fn = fn
+        self.arg = arg
+
+
+class _Wakeup:
+    """Heap entry that re-delivers an already-processed event to a process.
+
+    Replaces the fresh ``Event`` the naive implementation allocates when a
+    process waits on something that already happened.  ``gen`` snapshots
+    the process's wake generation; if the process was resumed some other
+    way in the meantime (an interrupt), the generation moved on and the
+    stale wakeup is dropped.  ``source is None`` marks the bootstrap resume
+    of a newly spawned process.
+    """
+
+    __slots__ = ("process", "source", "gen")
+    _cb1 = _WAKEUP_MARK  # run-loop dispatch marker (class attribute)
+
+    def __init__(self, process: "Process", source: Optional["Event"], gen: int):
+        self.process = process
+        self.source = source
+        self.gen = gen
+
+
 class Event:
     """A one-shot occurrence that processes can wait on.
 
@@ -58,11 +147,18 @@ class Event:
     a success value or a failure exception) and *processed* once its
     callbacks have run.  Waiting on an already-processed event resumes the
     waiter immediately (on the next scheduling step).
+
+    Waiters register with :meth:`add_callback`; callbacks receive the event
+    itself.  The first callback lives in an inline slot, extras overflow
+    into a lazily allocated list.
     """
+
+    __slots__ = ("env", "_cb1", "_cbs", "_value", "_ok", "_defused")
 
     def __init__(self, env: "Environment"):
         self.env = env
-        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._cb1: Any = None
+        self._cbs: Optional[List[Callable[["Event"], None]]] = None
         self._value: Any = _PENDING
         self._ok: bool = True
         # Set when a failure was handled by at least one waiter (or marked
@@ -76,11 +172,11 @@ class Event:
 
     @property
     def processed(self) -> bool:
-        return self.callbacks is None
+        return self._cb1 is _PROCESSED
 
     @property
     def ok(self) -> bool:
-        if not self.triggered:
+        if self._value is _PENDING:
             raise SimulationError("event value not yet available")
         return self._ok
 
@@ -90,25 +186,64 @@ class Event:
             raise SimulationError("event value not yet available")
         return self._value
 
+    # -- waiters ----------------------------------------------------------
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Register ``callback(event)`` to run when the event is processed."""
+        cb1 = self._cb1
+        if cb1 is None:
+            self._cb1 = callback
+        elif cb1 is _PROCESSED:
+            raise SimulationError(f"cannot add a callback to processed {self!r}")
+        else:
+            cbs = self._cbs
+            if cbs is None:
+                self._cbs = [callback]
+            else:
+                cbs.append(callback)
+
+    def _remove_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Best-effort removal (used when an interrupt preempts a wait)."""
+        if self._cb1 == callback:
+            cbs = self._cbs
+            self._cb1 = cbs.pop(0) if cbs else None
+        else:
+            cbs = self._cbs
+            if cbs is not None:
+                try:
+                    cbs.remove(callback)
+                except ValueError:
+                    pass
+
     # -- triggering -------------------------------------------------------
     def succeed(self, value: Any = None, priority: int = PRIORITY_NORMAL) -> "Event":
         """Trigger the event successfully with ``value``."""
-        if self.triggered:
+        if self._value is not _PENDING:
             raise SimulationError(f"{self!r} already triggered")
         self._ok = True
         self._value = value
-        self.env._schedule(self, priority=priority)
+        env = self.env
+        env._seq += 1
+        heappush(env._queue, (env._now, priority, env._seq, self))
         return self
 
     def fail(self, exception: BaseException, priority: int = PRIORITY_NORMAL) -> "Event":
         """Trigger the event as failed; waiters see ``exception`` raised."""
-        if self.triggered:
+        if self._value is not _PENDING:
             raise SimulationError(f"{self!r} already triggered")
         if not isinstance(exception, BaseException):
             raise SimulationError("fail() requires an exception instance")
         self._ok = False
         self._value = exception
-        self.env._schedule(self, priority=priority)
+        try:
+            self._defused
+        except AttributeError:
+            # Hot-path constructors (timeout/Store.get/CorePool.submit) leave
+            # the slot unset: it is only ever read after a fail(), so it is
+            # initialised here instead of on every construction.
+            self._defused = False
+        env = self.env
+        env._seq += 1
+        heappush(env._queue, (env._now, priority, env._seq, self))
         return self
 
     def defuse(self) -> None:
@@ -123,52 +258,74 @@ class Event:
 class Timeout(Event):
     """An event that fires ``delay`` time units after creation."""
 
+    __slots__ = ("delay",)
+
+    # A timeout is triggered at creation (its value is set immediately).
+    triggered = True  # type: ignore[assignment]
+
     def __init__(self, env: "Environment", delay: float, value: Any = None):
         if delay < 0:
             raise SimulationError(f"negative timeout delay {delay!r}")
-        super().__init__(env)
-        self.delay = delay
-        self._ok = True
+        self.env = env
+        self._cb1 = None
+        self._cbs = None
         self._value = value
-        env._schedule(self, delay=delay)
-
-    @property
-    def triggered(self) -> bool:  # a timeout is triggered at creation
-        return True
+        self._ok = True
+        self._defused = False
+        self.delay = delay
+        env._seq += 1
+        heappush(env._queue, (env._now + delay, PRIORITY_NORMAL, env._seq, self))
 
 
 class _ConditionBase(Event):
     """Shared machinery for :class:`AllOf` / :class:`AnyOf`."""
 
+    __slots__ = ("events", "_pending_count")
+
     def __init__(self, env: "Environment", events: Iterable[Event]):
         super().__init__(env)
-        self.events = tuple(events)
+        self.events: Tuple[Event, ...] = tuple(events)
         for event in self.events:
             if event.env is not env:
                 raise SimulationError("conditions cannot mix environments")
-        self._pending = len(self.events)
+        self._pending_count = len(self.events)
+        observe = self._observe
         for event in self.events:
-            if self.triggered:
+            if self._value is not _PENDING:
                 break
-            if event.processed:
-                self._observe(event)
+            if event._cb1 is _PROCESSED:
+                observe(event)
             else:
-                event.callbacks.append(self._observe)
-        if not self.triggered:
+                event.add_callback(observe)
+        if self._value is _PENDING:
             self._check_vacuous()
 
     def _observe(self, event: Event) -> None:
-        if self.triggered:
+        if self._value is not _PENDING:
             return
         if not event._ok:
-            event.defuse()
-            self.fail(event.value)
+            event._defused = True
+            self.fail(event._value)
             return
-        self._pending -= 1
+        self._pending_count -= 1
         self._on_success(event)
 
-    def _collect(self) -> dict[Event, Any]:
-        return {e: e.value for e in self.events if e.processed and e._ok}
+    def _collect(self) -> dict:
+        # Processed events count, and so does an AnyOf sibling that fired in
+        # the same step but whose own callbacks have not run yet: a plain
+        # Event is always scheduled at the instant it triggers, so
+        # "triggered" means "due now".  A pending Timeout is triggered at
+        # creation but due in the future — it stays out until it fires.
+        processed = _PROCESSED
+        return {
+            e: e._value
+            for e in self.events
+            if e._ok
+            and (
+                e._cb1 is processed
+                or (e._value is not _PENDING and not isinstance(e, Timeout))
+            )
+        }
 
     def _on_success(self, event: Event) -> None:
         raise NotImplementedError
@@ -180,8 +337,10 @@ class _ConditionBase(Event):
 class AllOf(_ConditionBase):
     """Triggers once every given event has succeeded (fails fast)."""
 
+    __slots__ = ()
+
     def _on_success(self, event: Event) -> None:
-        if self._pending == 0:
+        if self._pending_count == 0:
             self.succeed(self._collect())
 
     def _check_vacuous(self) -> None:
@@ -192,6 +351,8 @@ class AllOf(_ConditionBase):
 class AnyOf(_ConditionBase):
     """Triggers as soon as any given event succeeds (fails fast)."""
 
+    __slots__ = ()
+
     def _on_success(self, event: Event) -> None:
         self.succeed(self._collect())
 
@@ -200,111 +361,231 @@ class AnyOf(_ConditionBase):
             self.succeed({})
 
 
+# Sentinel for a spawned-but-not-yet-started process's wait slot: lets
+# ``interrupt`` distinguish "hasn't run yet" (interruptible) from "currently
+# executing" (not interruptible).
+_BOOTSTRAPPING = object()
+
+
 class Process(Event):
     """Wraps a generator; the process is itself an event other code can wait
     on, triggered with the generator's return value."""
 
+    __slots__ = ("_generator", "_send", "name", "_waiting_on", "_wake_gen", "_resume_cb")
+
     def __init__(self, env: "Environment", generator: Generator, name: str = ""):
         if not hasattr(generator, "send"):
             raise SimulationError(f"process requires a generator, got {generator!r}")
-        super().__init__(env)
+        # Inline Event.__init__: figure runs spawn a process per message.
+        self.env = env
+        self._cb1 = None
+        self._cbs = None
+        self._value = _PENDING
+        self._ok = True
+        self._defused = False
         self._generator = generator
+        # send() is called once per resume; bind it once per process.
+        self._send = generator.send
         self.name = name or getattr(generator, "__name__", "process")
-        self._waiting_on: Optional[Event] = None
-        # Bootstrap: resume the process at the current time.
-        bootstrap = Event(env)
-        bootstrap.succeed()
-        bootstrap.callbacks.append(self._resume)
-        self._waiting_on = bootstrap
+        self._waiting_on: Any = _BOOTSTRAPPING
+        self._wake_gen = 0
+        # One bound method for the lifetime of the process: registering a
+        # wait costs a slot store, not a bound-method allocation.
+        self._resume_cb = self._resume
+        # Bootstrap: resume the process at the current time (one sequence
+        # number, exactly like the naive bootstrap-Event implementation).
+        env._seq += 1
+        heappush(env._queue, (env._now, PRIORITY_NORMAL, env._seq, _Wakeup(self, None, 0)))
 
     @property
     def is_alive(self) -> bool:
-        return not self.triggered
+        return self._value is _PENDING
 
     def interrupt(self, cause: Any = None) -> None:
         """Throw :class:`Interrupt` into the process at the current time."""
-        if self.triggered:
+        if self._value is not _PENDING:
             raise SimulationError(f"cannot interrupt finished process {self.name}")
         if self._waiting_on is None:
             raise SimulationError(f"cannot interrupt {self.name} during its own execution")
+        interrupt = Interrupt(cause)
         poke = Event(self.env)
-        poke._interrupt_cause = Interrupt(cause)  # type: ignore[attr-defined]
         poke.succeed(priority=PRIORITY_URGENT)
-        poke.callbacks.append(self._resume)
+        poke._cb1 = lambda _trigger: self._deliver_interrupt(interrupt)
 
-    def _resume(self, trigger: Event) -> None:
-        interrupt = getattr(trigger, "_interrupt_cause", None)
-        if interrupt is not None and self.triggered:
+    def _deliver_interrupt(self, interrupt: Interrupt) -> None:
+        if self._value is not _PENDING:
             return  # process finished before the interrupt was delivered
-        # Detach from whatever we were waiting on (relevant for interrupts).
         waited = self._waiting_on
-        if interrupt is not None and waited is not None and not waited.processed:
-            try:
-                waited.callbacks.remove(self._resume)
-            except ValueError:
-                pass
+        if isinstance(waited, Event) and waited._cb1 is not _PROCESSED:
+            waited._remove_callback(self._resume_cb)
         self._waiting_on = None
-        self.env._active_process = self
+        self._wake_gen += 1  # invalidate any in-flight _Wakeup
         try:
-            if interrupt is not None:
-                target = self._generator.throw(interrupt)
-            elif trigger._ok:
-                target = self._generator.send(trigger.value)
-            else:
-                trigger.defuse()
-                target = self._generator.throw(trigger.value)
+            target = self._generator.throw(interrupt)
         except StopIteration as stop:
             self.succeed(stop.value)
             return
         except BaseException as exc:
             self.fail(exc)
             return
-        finally:
-            self.env._active_process = None
-        if not isinstance(target, Event):
-            error = SimulationError(
-                f"process {self.name!r} yielded non-event {target!r}"
-            )
-            self._generator.throw(error)
-            raise error
-        self._waiting_on = target
-        if target.processed:
-            # Already-processed events resume the waiter via a fresh wakeup.
-            wakeup = Event(self.env)
-            if target._ok:
-                wakeup.succeed(target.value)
+        self._wait_on(target)
+
+    def _resume(self, trigger: Optional[Event]) -> None:
+        """Resume the generator with ``trigger``'s outcome (None = bootstrap).
+
+        This is the hottest function in a figure run — wait registration is
+        inlined rather than delegated to :meth:`_wait_on`, and the yielded
+        target is classified by reading its ``_cb1`` slot directly (only
+        kernel events have one; anything else is the non-event error path).
+        """
+        self._waiting_on = None
+        try:
+            try:
+                ok = trigger._ok
+            except AttributeError:  # trigger is None: bootstrap resume
+                target = self._send(None)
             else:
-                target.defuse()
-                wakeup.fail(target.value)
-            wakeup.callbacks.append(self._resume)
-            self._waiting_on = wakeup
+                if ok:
+                    target = self._send(trigger._value)
+                else:
+                    trigger._defused = True
+                    target = self._generator.throw(trigger._value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            self.fail(exc)
+            return
+        try:
+            cb1 = target._cb1
+        except AttributeError:
+            self._fail_non_event(target)
+            return
+        self._waiting_on = target
+        if cb1 is None:
+            target._cb1 = self._resume_cb
+        elif cb1 is _PROCESSED:
+            # Fast path: re-deliver the processed event through a light
+            # _Wakeup instead of allocating a fresh Event (one sequence
+            # number either way, so the event trace is unchanged).
+            env = self.env
+            wakeup = _Wakeup.__new__(_Wakeup)
+            wakeup.process = self
+            wakeup.source = target
+            wakeup.gen = self._wake_gen
+            env._seq += 1
+            heappush(env._queue, (env._now, PRIORITY_NORMAL, env._seq, wakeup))
+        elif cb1 is _DEFERRED_MARK or cb1 is _WAKEUP_MARK:
+            # A schedule_at/schedule_after handle is not a waitable event.
+            self._waiting_on = None
+            self._fail_non_event(target)
         else:
-            target.callbacks.append(self._resume)
+            cbs = target._cbs
+            if cbs is None:
+                target._cbs = [self._resume_cb]
+            else:
+                cbs.append(self._resume_cb)
+
+    def _fail_non_event(self, target: Any) -> None:
+        # Throw once so the generator can clean up, then fail the process.
+        # (The naive version threw *and* re-raised, leaving the generator
+        # mid-unwind with a corrupted frame.)
+        error = SimulationError(f"process {self.name!r} yielded non-event {target!r}")
+        try:
+            self._generator.throw(error)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+        except BaseException as exc:
+            self.fail(exc)
+        else:
+            # The generator swallowed the error and yielded again: close it
+            # and fail the process with the original error.
+            self._generator.close()
+            self.fail(error)
+
+    def _wait_on(self, target: Any) -> None:
+        if not isinstance(target, Event):
+            self._fail_non_event(target)
+            return
+        self._waiting_on = target
+        cb1 = target._cb1
+        if cb1 is None:
+            target._cb1 = self._resume_cb
+        elif cb1 is _PROCESSED:
+            env = self.env
+            env._seq += 1
+            heappush(
+                env._queue,
+                (env._now, PRIORITY_NORMAL, env._seq, _Wakeup(self, target, self._wake_gen)),
+            )
+        else:
+            cbs = target._cbs
+            if cbs is None:
+                target._cbs = [self._resume_cb]
+            else:
+                cbs.append(self._resume_cb)
 
 
 class Environment:
-    """The simulation clock and event queue."""
+    """The simulation clock and event queue.
+
+    ``trace``: set to a list to record ``(time, priority, seq)`` for every
+    dispatched heap entry (events, deferred callbacks and process wakeups
+    alike).  Tracing routes ``run`` through the un-inlined ``step`` path
+    and disables the network's same-instant delivery coalescing, so traces
+    are directly comparable across kernel generations.
+    """
+
+    __slots__ = ("_now", "_queue", "_seq", "trace")
 
     def __init__(self, initial_time: float = 0.0):
         self._now = initial_time
-        self._queue: list[tuple[float, int, int, Event]] = []
+        self._queue: List[tuple] = []
         self._seq = 0
-        self._active_process: Optional[Process] = None
+        self.trace: Optional[list] = None
 
     @property
     def now(self) -> float:
         return self._now
 
-    @property
-    def active_process(self) -> Optional[Process]:
-        return self._active_process
-
     # -- factories --------------------------------------------------------
+    # event() and timeout() build their instances with ``__new__`` + direct
+    # slot stores: a figure run creates one of these per message / CPU job,
+    # and skipping ``type.__call__`` + ``__init__`` measurably shortens the
+    # hot path.  Direct construction (``Timeout(env, d)``) stays supported.
     def event(self) -> Event:
-        return Event(self)
+        event = Event.__new__(Event)
+        event.env = self
+        event._cb1 = None
+        event._cbs = None
+        event._value = _PENDING
+        event._ok = True
+        event._defused = False
+        return event
 
-    def timeout(self, delay: float, value: Any = None) -> Timeout:
-        return Timeout(self, delay, value)
+    def timeout(
+        self,
+        delay: float,
+        value: Any = None,
+        # Default-argument binding: these resolve as fast locals instead of
+        # module-global lookups in the single hottest allocation site.
+        _new=Timeout.__new__,
+        _cls=Timeout,
+        _push=heappush,
+        _normal=PRIORITY_NORMAL,
+    ) -> Timeout:
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay {delay!r}")
+        timeout = _new(_cls)
+        timeout.env = self
+        timeout._cb1 = None
+        timeout._cbs = None
+        timeout._value = value
+        timeout._ok = True
+        timeout.delay = delay
+        self._seq += 1
+        _push(self._queue, (self._now + delay, _normal, self._seq, timeout))
+        return timeout
 
     def process(self, generator: Generator, name: str = "") -> Process:
         return Process(self, generator, name=name)
@@ -318,25 +599,67 @@ class Environment:
     # -- scheduling -------------------------------------------------------
     def _schedule(self, event: Event, delay: float = 0.0, priority: int = PRIORITY_NORMAL) -> None:
         self._seq += 1
-        heapq.heappush(self._queue, (self._now + delay, priority, self._seq, event))
+        heappush(self._queue, (self._now + delay, priority, self._seq, event))
+
+    def schedule_at(self, time: float, fn: Callable[[Any], None], arg: Any = None) -> _Deferred:
+        """Schedule bare ``fn(arg)`` at absolute ``time`` — no Event allocated.
+
+        Returns the heap entry, whose ``fn``/``arg`` the caller may mutate
+        until it fires (the network uses this to batch same-instant
+        deliveries).  Costs one sequence number, like any scheduling.
+        """
+        if time < self._now:
+            raise SimulationError(f"schedule_at({time}) is in the past (now={self._now})")
+        entry = _Deferred.__new__(_Deferred)
+        entry.fn = fn
+        entry.arg = arg
+        self._seq += 1
+        heappush(self._queue, (time, PRIORITY_NORMAL, self._seq, entry))
+        return entry
+
+    def schedule_after(self, delay: float, fn: Callable[[Any], None], arg: Any = None) -> _Deferred:
+        """Schedule bare ``fn(arg)`` after ``delay``; see :meth:`schedule_at`."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay!r}")
+        entry = _Deferred.__new__(_Deferred)
+        entry.fn = fn
+        entry.arg = arg
+        self._seq += 1
+        heappush(self._queue, (self._now + delay, PRIORITY_NORMAL, self._seq, entry))
+        return entry
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if the queue is empty."""
         return self._queue[0][0] if self._queue else float("inf")
 
     def step(self) -> None:
-        """Process the single next event."""
+        """Process the single next heap entry."""
         if not self._queue:
             raise SimulationError("step() on an empty schedule")
-        when, _priority, _seq, event = heapq.heappop(self._queue)
-        self._now = when
-        callbacks = event.callbacks
-        event.callbacks = None
-        assert callbacks is not None
-        for callback in callbacks:
-            callback(event)
-        if not event._ok and not event._defused and not callbacks:
-            raise event.value
+        entry = heappop(self._queue)
+        self._now = entry[0]
+        if self.trace is not None:
+            self.trace.append((entry[0], entry[1], entry[2]))
+        item = entry[3]
+        cb1 = item._cb1
+        if cb1 is _DEFERRED_MARK:
+            item.fn(item.arg)
+            return
+        if cb1 is _WAKEUP_MARK:
+            process = item.process
+            if process._wake_gen == item.gen:
+                process._resume(item.source)
+            return
+        cbs = item._cbs
+        item._cb1 = _PROCESSED
+        item._cbs = None
+        if cb1 is not None:
+            cb1(item)
+            if cbs is not None:
+                for callback in cbs:
+                    callback(item)
+        elif not item._ok and not item._defused:
+            raise item._value
 
     def run(self, until: Optional[float] = None) -> float:
         """Run until the queue drains or simulated time reaches ``until``.
@@ -345,11 +668,71 @@ class Environment:
         """
         if until is not None and until < self._now:
             raise SimulationError(f"run(until={until}) is in the past (now={self._now})")
-        while self._queue:
-            if until is not None and self.peek() > until:
+        if self.trace is not None:
+            # Tracing path: dispatch through step() so every entry is
+            # recorded; inlined loop below is the production path.
+            while self._queue:
+                if until is not None and self._queue[0][0] > until:
+                    break
+                self.step()
+            if until is not None:
                 self._now = until
-                return self._now
-            self.step()
+            return self._now
+        queue = self._queue
+        pop = heappop
+        deferred_mark = _DEFERRED_MARK
+        wakeup_mark = _WAKEUP_MARK
+        horizon_mark = _HORIZON_MARK
+        processed = _PROCESSED
+        sentinel = None
+        if until is not None:
+            # One sentinel at the horizon beats peeking at the queue head
+            # every iteration.  Priority 2 / infinite seq: sorts after every
+            # real entry at the same instant, consumes no sequence number.
+            sentinel = _Horizon.__new__(_Horizon)
+            heappush(queue, (until, 2, float("inf"), sentinel))
+        try:
+            while True:
+                when, _priority, _seq, item = pop(queue)
+                self._now = when
+                cb1 = item._cb1
+                if cb1 is deferred_mark:
+                    item.fn(item.arg)
+                    continue
+                if cb1 is wakeup_mark:
+                    process = item.process
+                    if process._wake_gen == item.gen:
+                        process._resume(item.source)
+                    continue
+                if cb1 is horizon_mark:
+                    if item is sentinel:
+                        sentinel = None
+                        break
+                    continue  # stale sentinel from an aborted earlier run
+                item._cb1 = processed
+                cbs = item._cbs
+                if cb1 is not None:
+                    if cbs is None:
+                        cb1(item)
+                    else:
+                        item._cbs = None
+                        cb1(item)
+                        for callback in cbs:
+                            callback(item)
+                elif not item._ok and not item._defused:
+                    raise item._value
+        except IndexError:
+            # Queue drained (pop on empty): a run with no horizon ends here.
+            if queue:
+                raise  # a callback's own IndexError, not ours
+        finally:
+            if sentinel is not None and queue:
+                # Drained (or raised) before the horizon: drop the sentinel
+                # so it cannot cut a later run short.
+                try:
+                    queue.remove((until, 2, float("inf"), sentinel))
+                except ValueError:
+                    pass
         if until is not None:
             self._now = until
         return self._now
@@ -361,13 +744,14 @@ class Environment:
         did not complete before ``until``.
         """
         proc = self.process(generator)
-        while not proc.triggered:
-            if not self._queue:
+        queue = self._queue
+        while proc._value is _PENDING:
+            if not queue:
                 raise SimulationError("process deadlocked: event queue drained")
-            if until is not None and self.peek() > until:
+            if until is not None and queue[0][0] > until:
                 raise SimulationError(f"process did not finish by t={until}")
             self.step()
         if not proc._ok:
-            proc.defuse()
-            raise proc.value
-        return proc.value
+            proc._defused = True
+            raise proc._value
+        return proc._value

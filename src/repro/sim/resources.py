@@ -8,11 +8,18 @@ them per run.
 from __future__ import annotations
 
 from collections import deque
+from heapq import heappush
 from typing import Any, Deque
 
-from .kernel import Environment, Event
+from .kernel import PRIORITY_NORMAL, Environment, Event
+from .kernel import _PENDING, _Deferred  # hot paths inline kernel scheduling
 
 __all__ = ["CorePool", "Store", "Disk"]
+
+
+def _fire_if_pending(event: Event) -> None:
+    if not event.triggered:  # skip cancelled/raced waiters
+        event.succeed()
 
 
 class CorePool:
@@ -33,14 +40,43 @@ class CorePool:
         self.jobs_done = 0
         self._free = cores
         self._pending: Deque[tuple[float, Event]] = deque()
+        # One bound method for the pool's lifetime; completions are the
+        # busiest deferred callback in a figure run.
+        self._complete_cb = self._complete
 
-    def submit(self, cost: float) -> Event:
+    # submit()/_start()/_complete() hand-inline Event construction, the
+    # completion deferred, and done.succeed(): every RPC handler charges a
+    # CPU pool per message.  Keep in sync with kernel internals.
+    def submit(
+        self,
+        cost: float,
+        # Fast-local bindings of module globals (see kernel.timeout).
+        _new=Event.__new__,
+        _event=Event,
+        _dnew=_Deferred.__new__,
+        _deferred=_Deferred,
+        _pending=_PENDING,
+        _push=heappush,
+        _normal=PRIORITY_NORMAL,
+    ) -> Event:
         """Enqueue a job costing ``cost`` ms of CPU; returns its done-event."""
         if cost < 0:
             raise ValueError(f"negative CPU cost {cost}")
-        done = self.env.event()
+        env = self.env
+        done = _new(_event)
+        done.env = env
+        done._cb1 = None
+        done._cbs = None
+        done._value = _pending
+        done._ok = True
         if self._free > 0:
-            self._start(cost, done)
+            # Inline _start(): most submits find a free core immediately.
+            self._free -= 1
+            entry = _dnew(_deferred)
+            entry.fn = self._complete_cb
+            entry.arg = (cost, done)
+            env._seq += 1
+            _push(env._queue, (env._now + cost, _normal, env._seq, entry))
         else:
             self._pending.append((cost, done))
         return done
@@ -55,18 +91,37 @@ class CorePool:
 
     def _start(self, cost: float, done: Event) -> None:
         self._free -= 1
-        timer = self.env.timeout(cost)
-        timer.callbacks.append(lambda _t, c=cost, d=done: self._complete(c, d))
+        env = self.env
+        entry = _Deferred.__new__(_Deferred)
+        entry.fn = self._complete_cb
+        entry.arg = (cost, done)
+        env._seq += 1
+        heappush(env._queue, (env._now + cost, PRIORITY_NORMAL, env._seq, entry))
 
-    def _complete(self, cost: float, done: Event) -> None:
+    def _complete(
+        self,
+        job: tuple[float, Event],
+        _dnew=_Deferred.__new__,
+        _deferred=_Deferred,
+        _push=heappush,
+        _normal=PRIORITY_NORMAL,
+    ) -> None:
+        cost, done = job
         self.busy_time += cost
         self.jobs_done += 1
-        done.succeed()
+        done._value = None  # inline done.succeed(): done is submit-private
+        env = self.env
+        env._seq += 1
+        _push(env._queue, (env._now, _normal, env._seq, done))
         if self._pending:
+            # The freed core immediately picks up the next queued job
+            # (inline _start; the +1/-1 on _free cancels out).
             next_cost, next_done = self._pending.popleft()
-            # The freed core immediately picks up the next queued job.
-            self._free += 1
-            self._start(next_cost, next_done)
+            entry = _dnew(_deferred)
+            entry.fn = self._complete_cb
+            entry.arg = (next_cost, next_done)
+            env._seq += 1
+            _push(env._queue, (env._now + next_cost, _normal, env._seq, entry))
         else:
             self._free += 1
 
@@ -86,21 +141,50 @@ class Store:
         self._items: Deque[Any] = deque()
         self._getters: Deque[Event] = deque()
 
-    def put(self, item: Any) -> None:
+    # put()/get() hand-inline Event construction and succeed(): stores back
+    # every mailbox, so one message costs two of these calls.  Keep in sync
+    # with kernel.Event / Environment.event.
+    def put(
+        self,
+        item: Any,
+        _pending=_PENDING,
+        _push=heappush,
+        _normal=PRIORITY_NORMAL,
+    ) -> None:
         """Deposit ``item``; wakes the oldest waiting getter, if any."""
-        while self._getters:
-            getter = self._getters.popleft()
-            if not getter.triggered:  # skip cancelled/raced getters
-                getter.succeed(item)
+        getters = self._getters
+        while getters:
+            getter = getters.popleft()
+            if getter._value is _pending:  # skip cancelled/raced getters
+                getter._value = item
+                env = getter.env
+                env._seq += 1
+                _push(env._queue, (env._now, _normal, env._seq, getter))
                 return
         self._items.append(item)
 
-    def get(self) -> Event:
+    def get(
+        self,
+        _new=Event.__new__,
+        _event=Event,
+        _pending=_PENDING,
+        _push=heappush,
+        _normal=PRIORITY_NORMAL,
+    ) -> Event:
         """Return an event that triggers with the next item."""
-        event = self.env.event()
-        if self._items:
-            event.succeed(self._items.popleft())
+        env = self.env
+        event = _new(_event)
+        event.env = env
+        event._cb1 = None
+        event._cbs = None
+        event._ok = True
+        items = self._items
+        if items:
+            event._value = items.popleft()
+            env._seq += 1
+            _push(env._queue, (env._now, _normal, env._seq, event))
         else:
+            event._value = _pending
             self._getters.append(event)
         return event
 
@@ -134,8 +218,7 @@ class Disk:
         self.busy_time += duration
         done = self.env.event()
         delay = self._drain_at - self.env.now
-        timer = self.env.timeout(delay)
-        timer.callbacks.append(lambda _t: done.succeed() if not done.triggered else None)
+        self.env.schedule_after(delay, _fire_if_pending, done)
         return done
 
     def write(self, nbytes: int) -> Event:

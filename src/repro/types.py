@@ -46,6 +46,16 @@ class NodeAddress:
     kind: NodeKind
     index: int
 
+    def __post_init__(self) -> None:
+        # Addresses are hashed on every mailbox/topology/traffic dict hit
+        # (hundreds of thousands of times per run); cache the hash once.
+        # Same value the generated dataclass __hash__ would produce, so
+        # dict iteration order — and with it determinism — is unchanged.
+        object.__setattr__(self, "_hash", hash((self.kind, self.index)))
+
+    def __hash__(self) -> int:
+        return self._hash
+
     def __str__(self) -> str:
         return f"{self.kind.value}{self.index}"
 

@@ -10,6 +10,7 @@ available; the published mix is what the paper's benchmark replays.
 from __future__ import annotations
 
 import random
+from itertools import accumulate
 import zlib
 from ..types import OpType
 from .namespace import Namespace
@@ -61,6 +62,18 @@ class SpotifyWorkload:
         self.working_set_size = working_set_size
         self.working_set_locality = working_set_locality
         self._working_sets: dict = {}
+        # random.choices() recomputes the cumulative weights on every call;
+        # precompute them once per namespace generation.  choices() draws
+        # the same uniforms either way, so the RNG stream is unchanged.
+        self._cum_weights: list = []
+        self._cum_weights_len = -1
+
+    def _file_cum_weights(self) -> list:
+        files = self.namespace.files
+        if self._cum_weights_len != len(files):
+            self._cum_weights = list(accumulate(self.namespace.file_weights))
+            self._cum_weights_len = len(files)
+        return self._cum_weights
 
     def working_set(self, client_id) -> list[str]:
         """The file working set of one client (created on first use)."""
@@ -68,7 +81,7 @@ class SpotifyWorkload:
         if ws is None:
             ws = self.rng.choices(
                 self.namespace.files,
-                weights=self.namespace.file_weights,
+                cum_weights=self._file_cum_weights(),
                 k=self.working_set_size,
             )
             self._working_sets[client_id] = ws
@@ -84,7 +97,7 @@ class SpotifyWorkload:
             if self.rng.random() < self.working_set_locality:
                 return self.rng.choice(ws)
         return self.rng.choices(
-            self.namespace.files, weights=self.namespace.file_weights, k=1
+            self.namespace.files, cum_weights=self._file_cum_weights(), k=1
         )[0]
 
     def next_op(self, client_id=None) -> tuple[OpType, dict]:

@@ -250,6 +250,75 @@ def test_yield_non_event_raises():
         env.run()
 
 
+def test_yield_non_event_fails_process_cleanly():
+    """Regression: the non-event error used to be thrown into the generator
+    AND re-raised, corrupting the generator mid-unwind.  Now it is thrown
+    once; if the generator does not convert it, the process fails and the
+    generator is closed."""
+    env = Environment()
+    cleanup = []
+
+    def bad():
+        try:
+            yield 42
+        finally:
+            cleanup.append("closed")
+
+    proc = env.process(bad())
+    with pytest.raises(SimulationError, match="non-event"):
+        env.run()
+    assert cleanup == ["closed"]  # generator unwound exactly once
+    assert proc.triggered and not proc._ok
+
+
+def test_yield_non_event_generator_may_recover():
+    """The throw happens inside the generator first, so it may convert the
+    error into a normal return."""
+    env = Environment()
+
+    def survivor():
+        try:
+            yield "not an event"
+        except SimulationError:
+            return "recovered"
+
+    assert env.run_process(survivor()) == "recovered"
+
+
+def test_any_of_collects_same_step_triggered_events():
+    """Regression: events that triggered in the same step but were not yet
+    processed were silently dropped from the AnyOf result dict."""
+    env = Environment()
+
+    def proc():
+        e1 = env.event()
+        e2 = env.event()
+        trigger = env.timeout(5)
+        yield trigger
+        # Both succeed at t=5: e2 is triggered-but-unprocessed when the
+        # AnyOf fires on e1.
+        e1.succeed("first")
+        e2.succeed("second")
+        results = yield AnyOf(env, [e1, e2])
+        return (env.now, sorted(results.values()))
+
+    assert env.run_process(proc()) == (5, ["first", "second"])
+
+
+def test_any_of_excludes_pending_timeouts():
+    """A Timeout is 'triggered' at creation but due in the future; AnyOf
+    must not return it before its delay elapses."""
+    env = Environment()
+
+    def proc():
+        fast = env.timeout(1, value="fast")
+        slow = env.timeout(9, value="slow")
+        results = yield AnyOf(env, [fast, slow])
+        return (env.now, list(results.values()))
+
+    assert env.run_process(proc()) == (1, ["fast"])
+
+
 def test_run_process_detects_deadlock():
     env = Environment()
 
