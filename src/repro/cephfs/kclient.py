@@ -74,6 +74,20 @@ class CephClient:
 
     # -------------------------------------------------------------- operations
     def op(self, op: OpType, **kwargs):
+        obs = self.env.obs
+        if obs is None:
+            result = yield from self._op_body(op, None, kwargs)
+            return result
+        span = obs.tracer.start(
+            "kclient.op", op=op.value, host=str(self.addr), az=self.az,
+        )
+        try:
+            result = yield from self._op_body(op, span, kwargs)
+            return result
+        finally:
+            obs.tracer.finish(span)
+
+    def _op_body(self, op: OpType, span, kwargs):
         path = kwargs.get("path") or kwargs.get("src")
         cache_key = path if op in _READ_OPS else None
         if self.config.kclient_cache and cache_key is not None and cache_key in self.cache:
@@ -81,8 +95,12 @@ class CephClient:
             # Snapshot the value first: a revocation may land mid-read.
             cached = self.cache[cache_key]
             self.cache_hits += 1
+            if span is not None:
+                span.tags["cache_hit"] = True
             yield self.env.timeout(self.config.kclient_hit_cost_ms)
             return cached
+        if span is not None:
+            span.tags["cache_hit"] = False
         mds = self._mds_for(path if path else "/", op)
         if not self.config.kclient_cache and path:
             # Without the kernel dentry cache every path component needs its
@@ -99,6 +117,7 @@ class CephClient:
                         "mds_op",
                         (OpType.STAT, {"path": prefix}, self.addr),
                         size=self.config.client_request_bytes,
+                        parent_span=span,
                     )
                 except HostUnreachableError as exc:
                     raise NoNamenodeError(f"MDS {lookup_mds} unreachable: {exc}") from exc
@@ -108,6 +127,7 @@ class CephClient:
             result = yield self.network.call(
                 self.addr, mds, "mds_op", (op, kwargs, self.addr),
                 size=self.config.client_request_bytes,
+                parent_span=span,
             )
         except HostUnreachableError as exc:
             raise NoNamenodeError(f"MDS {mds} unreachable: {exc}") from exc

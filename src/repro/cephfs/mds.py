@@ -126,6 +126,20 @@ class Mds:
 
     def _mds_op(self, msg: Message):
         op, kwargs, client = msg.payload
+        obs = self.env.obs
+        if obs is None:
+            yield from self._mds_op_body(msg, op, kwargs, client)
+            return
+        span = obs.tracer.start(
+            "mds.handle", parent=msg.extra.get("span_id"),
+            host=str(self.addr), az=self.az, op=op.value, rank=self.rank,
+        )
+        try:
+            yield from self._mds_op_body(msg, op, kwargs, client)
+        finally:
+            obs.tracer.finish(span)
+
+    def _mds_op_body(self, msg: Message, op: OpType, kwargs, client):
         # Everything contends on the single MDS thread; journaled namespace
         # mutations are substantially heavier than lookups.
         cost = self.config.mds_mutation_cost_ms if op.mutates else self.config.mds_op_cost_ms
@@ -283,6 +297,13 @@ class Mds:
             nbytes = self.journal_pending_bytes
             self.journal_pending_bytes = 0
             seq += 1
+            obs = self.env.obs
+            span = None
+            if obs is not None:
+                span = obs.tracer.start(
+                    "mds.journal_flush", host=str(self.addr), rank=self.rank,
+                    nbytes=nbytes,
+                )
             # Journal flushing consumes the single MDS thread too.
             yield self.cpu.submit(self.config.journal_flush_cpu_ms)
             targets = self.cluster.journal_targets(self.rank, seq)
@@ -295,6 +316,7 @@ class Mds:
                         "osd_write",
                         (f"mds{self.rank}.journal.{seq}", nbytes),
                         size=nbytes,
+                        parent_span=span,
                     )
                 )
             try:
@@ -302,3 +324,5 @@ class Mds:
             except (HostUnreachableError, FsError):
                 pass  # OSD hiccup: Ceph would retry/remap; we keep serving
             self.journal_flushes += 1
+            if span is not None:
+                obs.tracer.finish(span)

@@ -58,6 +58,20 @@ class Osd:
             self.env.process(self._handle(msg), name=f"{self.addr}:{msg.kind}")
 
     def _handle(self, msg: Message):
+        obs = self.env.obs
+        if obs is None:
+            yield from self._handle_body(msg)
+            return
+        span = obs.tracer.start(
+            f"osd.{msg.kind}", parent=msg.extra.get("span_id"),
+            host=str(self.addr), az=self.az,
+        )
+        try:
+            yield from self._handle_body(msg)
+        finally:
+            obs.tracer.finish(span)
+
+    def _handle_body(self, msg: Message):
         yield self.cpu.submit(self.cpu_cost_ms)
         if not self.running:
             return

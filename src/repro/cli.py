@@ -5,6 +5,8 @@ Usage:
     python -m repro table1 table2        # multiple at once
     python -m repro all                  # everything (slow)
     python -m repro point "HopsFS-CL (3,3)" --servers 24
+    python -m repro point "HopsFS-CL (3,3)" --trace out.json   # Perfetto trace
+    python -m repro report               # per-phase latency breakdown
     python -m repro list                 # available targets and setups
 
 Scale knobs are the same as the benchmark suite's: REPRO_BENCH_FULL=1 for
@@ -50,8 +52,13 @@ def _cmd_point(args) -> int:
     if args.setup not in SETUPS:
         print(f"unknown setup {args.setup!r}; see `python -m repro list`", file=sys.stderr)
         return 2
+    obs = None
+    if args.trace or args.trace_jsonl:
+        from .obs import ObsContext
+
+        obs = ObsContext()
     config = RunConfig(warmup_ms=args.warmup, window_ms=args.window)
-    point = run_point(args.setup, args.servers, config=config)
+    point = run_point(args.setup, args.servers, config=config, obs=obs)
     print(f"setup:          {point.setup}")
     print(f"servers:        {point.servers}")
     print(f"throughput:     {point.throughput_ops_s:,.0f} ops/s")
@@ -62,6 +69,59 @@ def _cmd_point(args) -> int:
     print(f"storage CPU:    {r.storage_cpu_pct:.1f} %")
     print(f"server CPU:     {r.server_cpu_pct:.1f} %")
     print(f"cross-AZ bytes: {r.cross_az_mb:.2f} MB  (intra-AZ {r.intra_az_mb:.2f} MB)")
+    if obs is not None:
+        from .obs import breakdown_table, chrome_trace, validate_chrome_trace
+        from .obs import write_chrome_trace, write_spans_jsonl
+
+        if args.trace:
+            doc = chrome_trace(obs.tracer, metadata={"setup": point.setup,
+                                                     "servers": point.servers})
+            problems = validate_chrome_trace(doc)
+            if problems:
+                print("trace validation FAILED:", file=sys.stderr)
+                for p in problems[:10]:
+                    print(f"  - {p}", file=sys.stderr)
+                return 1
+            write_chrome_trace(obs.tracer, args.trace,
+                               metadata={"setup": point.setup,
+                                         "servers": point.servers})
+            print(f"trace:          {args.trace} "
+                  f"({len(obs.tracer.spans)} spans; load in ui.perfetto.dev)")
+        if args.trace_jsonl:
+            write_spans_jsonl(obs.tracer, args.trace_jsonl)
+            print(f"spans jsonl:    {args.trace_jsonl}")
+        breakdown_table(obs.tracer, title=f"Latency breakdown - {point.setup}").print()
+    return 0
+
+
+# Setups for `python -m repro report` (one per paper family; Table 1 style).
+_REPORT_SETUPS = [
+    "HopsFS (3,3)",
+    "HopsFS-CL (2,3)",
+    "HopsFS-CL (3,3)",
+    "CephFS",
+]
+
+
+def _cmd_report(args) -> int:
+    from .obs import ObsContext, breakdown_table
+
+    setups = args.setups or _REPORT_SETUPS
+    for setup in setups:
+        if setup not in SETUPS:
+            print(f"unknown setup {setup!r}; see `python -m repro list`",
+                  file=sys.stderr)
+            return 2
+    for setup in setups:
+        obs = ObsContext()
+        config = RunConfig(warmup_ms=args.warmup, window_ms=args.window)
+        point = run_point(setup, args.servers, config=config, obs=obs)
+        table = breakdown_table(
+            obs.tracer,
+            title=(f"Latency breakdown - {setup} @ {point.servers} servers "
+                   f"({point.throughput_ops_s:,.0f} ops/s)"),
+        )
+        table.print()
     return 0
 
 
@@ -110,7 +170,22 @@ def main(argv=None) -> int:
     point.add_argument("--servers", type=int, default=6)
     point.add_argument("--warmup", type=float, default=15.0)
     point.add_argument("--window", type=float, default=15.0)
+    point.add_argument("--trace", default=None, metavar="PATH",
+                       help="trace the run and write a Chrome trace_event "
+                            "JSON file (load in ui.perfetto.dev)")
+    point.add_argument("--trace-jsonl", default=None, metavar="PATH",
+                       help="also write raw spans as JSON Lines")
     point.set_defaults(func=_cmd_point)
+
+    report = sub.add_parser(
+        "report", help="per-phase latency breakdown across setups (Table 1 style)"
+    )
+    report.add_argument("--setups", nargs="*", default=None,
+                        help=f"setups to run (default: {', '.join(_REPORT_SETUPS)})")
+    report.add_argument("--servers", type=int, default=3)
+    report.add_argument("--warmup", type=float, default=10.0)
+    report.add_argument("--window", type=float, default=10.0)
+    report.set_defaults(func=_cmd_report)
 
     perf = sub.add_parser("perf", help="run the kernel perf harness")
     perf.add_argument("--out", default="BENCH_kernel.json",
@@ -134,7 +209,7 @@ def main(argv=None) -> int:
         for name in SETUPS:
             print(f"  {name}")
         return 0
-    if command in ("point", "perf"):
+    if command in ("point", "perf", "report"):
         return args.func(args)
     targets = _TARGETS if command == "all" else [command] + [
         t for t in extra if t in _TARGETS

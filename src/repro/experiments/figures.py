@@ -14,7 +14,7 @@ from __future__ import annotations
 import os
 from typing import Iterable, Optional
 
-from ..metrics.report import Table
+from ..metrics.report import Table, az_skew_note
 from ..net import US_WEST1_AZS, build_us_west1
 from ..ndb.config import TABLE2_THREADS
 from ..types import OpType
@@ -258,6 +258,9 @@ def fig12(grid: Optional[list[int]] = None) -> Table:
                 f"{r.storage_net_read_mb_s:.2f}/{r.storage_net_write_mb_s:.2f}/{r.storage_disk_write_mb_s:.3f}"
             )
         table.add_row(*row)
+        note = az_skew_note(setup, results[(setup, grid[-1])].resource, tier="storage")
+        if note:
+            table.add_note(f"n={grid[-1]} {note}")
     return table
 
 
@@ -275,6 +278,9 @@ def fig13(grid: Optional[list[int]] = None) -> Table:
             r = results[(setup, n)].resource
             row.append(f"{r.server_net_read_mb_s:.2f}/{r.server_net_write_mb_s:.2f}")
         table.add_row(*row)
+        note = az_skew_note(setup, results[(setup, grid[-1])].resource, tier="server")
+        if note:
+            table.add_note(f"n={grid[-1]} {note}")
     return table
 
 

@@ -96,18 +96,30 @@ def run_point(
     op: Optional[OpType] = None,
     config: Optional[RunConfig] = None,
     keep_collector: bool = False,
+    obs=None,
 ):
     """Run one measurement point; returns a :class:`PointResult`.
 
     ``workload='spotify'`` replays the industrial mix; ``workload='single'``
     with ``op`` runs the Fig. 7 microbenchmarks.  Set
     ``config.open_loop_rate_per_ms`` for fixed-rate (Fig. 9) runs.
+
+    Pass an :class:`repro.obs.ObsContext` as ``obs`` to trace the run: it
+    is attached to the deployment's environment before any process starts,
+    deployment counters are registered as gauges, and the context rides
+    back in ``result.extra["obs"]``.  Tracing never perturbs the event
+    schedule (see DESIGN.md "Observability").
     """
     if isinstance(spec, str):
         spec = SETUPS[spec]
     config = (config or RunConfig()).scaled()
     adapter = spec.build(num_servers, seed=config.seed)
     env = adapter.env
+    if obs is not None:
+        from ..obs import register_deployment_metrics
+
+        obs.attach(env)
+        register_deployment_metrics(obs, adapter)
 
     namespace = generate_namespace(
         num_top_dirs=config.namespace_top_dirs,
@@ -171,6 +183,8 @@ def run_point(
     if keep_collector:
         result.extra["collector"] = collector
         result.extra["adapter"] = adapter
+    if obs is not None:
+        result.extra["obs"] = obs
     return result
 
 

@@ -12,7 +12,7 @@ from dataclasses import dataclass
 
 from ..cephfs import CephConfig, build_cephfs
 from ..hopsfs import HopsFsConfig, build_hopsfs
-from ..metrics.utilization import ResourceReport
+from ..metrics.utilization import ResourceReport, per_az_utilization
 from ..ndb import NdbConfig
 from ..types import AzId
 from ..workloads.namespace import Namespace, install_cephfs, install_hopsfs
@@ -161,6 +161,9 @@ class HopsFsAdapter:
         report.storage_disk_read_mb_s = reads / n / window / _MB
         report.cross_az_mb = delta.cross_az_bytes / 1e6
         report.intra_az_mb = delta.intra_az_bytes / 1e6
+        report.per_az = per_az_utilization(
+            delta, ndb_addrs, nn_addrs, dep.network.topology.az_of, window
+        )
         return report
 
 
@@ -277,6 +280,9 @@ class CephAdapter:
         report.storage_disk_read_mb_s = reads / n / window / _MB
         report.cross_az_mb = delta.cross_az_bytes / 1e6
         report.intra_az_mb = delta.intra_az_bytes / 1e6
+        report.per_az = per_az_utilization(
+            delta, osd_addrs, mds_addrs, cluster.network.topology.az_of, window
+        )
         return report
 
     def mds_requests_since(self, snap: dict) -> int:

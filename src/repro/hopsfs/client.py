@@ -82,27 +82,48 @@ class HopsFsClient:
 
     # ------------------------------------------------------------ operations
     def op(self, op: OpType, **kwargs):
-        """Run one metadata operation, failing over across NN deaths."""
+        """Run one metadata operation, failing over across NN deaths.
+
+        ``obs_parent`` (popped before the request goes on the wire) nests
+        this op's span under an enclosing data-path span when tracing.
+        """
+        parent = kwargs.pop("obs_parent", None)
+        obs = self.env.obs
+        span = None
+        if obs is not None:
+            span = obs.tracer.start(
+                "client.op", parent=parent, op=op.value,
+                host=str(self.addr), az=self.location_domain_id,
+            )
         failures = 0
-        while True:
-            if self.current_nn is None:
-                yield from self._pick_namenode()
-            try:
-                result = yield self.network.call(
-                    self.addr,
-                    self.current_nn,
-                    "fs_op",
-                    (op, kwargs),
-                    size=self.request_bytes,
-                )
-                return result
-            except HostUnreachableError:
-                # Select a random surviving metadata server and retry.
-                self.current_nn = None
-                self.failovers += 1
-                failures += 1
-                if failures > self.max_failovers:
-                    raise NoNamenodeError(f"{op}: no metadata server after retries")
+        try:
+            while True:
+                if self.current_nn is None:
+                    yield from self._pick_namenode()
+                try:
+                    result = yield self.network.call(
+                        self.addr,
+                        self.current_nn,
+                        "fs_op",
+                        (op, kwargs),
+                        size=self.request_bytes,
+                        parent_span=span,
+                    )
+                    if span is not None:
+                        span.tags["ok"] = True
+                    return result
+                except HostUnreachableError:
+                    # Select a random surviving metadata server and retry.
+                    self.current_nn = None
+                    self.failovers += 1
+                    failures += 1
+                    if obs is not None:
+                        obs.registry.counter("client.failovers").inc()
+                    if failures > self.max_failovers:
+                        raise NoNamenodeError(f"{op}: no metadata server after retries")
+        finally:
+            if span is not None:
+                obs.tracer.finish(span, retries=failures)
 
     # Convenience wrappers -----------------------------------------------------
     def mkdir(self, path: str):
@@ -116,33 +137,51 @@ class HopsFsClient:
 
     def create(self, path: str, data: bytes = b"", replication: Optional[int] = None):
         """Create a file; large payloads stream through the block layer."""
-        inode_id = yield from self.op(
-            OpType.CREATE_FILE,
-            path=path,
-            data=data,
-            replication=replication,
-            client=str(self.addr),
-        )
-        if len(data) <= SMALL_FILE_MAX_BYTES:
+        obs = self.env.obs
+        span = None
+        if obs is not None and len(data) > SMALL_FILE_MAX_BYTES:
+            # One umbrella span for multi-block creates, so the metadata ops
+            # and block pipeline writes show up as siblings of one request.
+            span = obs.tracer.start(
+                "client.op", op="create_data",
+                host=str(self.addr), az=self.location_domain_id,
+            )
+        try:
+            inode_id = yield from self.op(
+                OpType.CREATE_FILE,
+                path=path,
+                data=data,
+                replication=replication,
+                client=str(self.addr),
+                obs_parent=span,
+            )
+            if len(data) <= SMALL_FILE_MAX_BYTES:
+                return inode_id
+            remaining = len(data)
+            while remaining > 0:
+                block = yield from self.op(
+                    OpType.ADD_BLOCK, path=path, client=str(self.addr), obs_parent=span
+                )
+                chunk = min(remaining, BLOCK_SIZE_BYTES)
+                yield from self._write_pipeline(block, chunk, parent_span=span)
+                remaining -= chunk
+            yield from self.op(
+                OpType.COMPLETE_FILE, path=path, size=len(data),
+                client=str(self.addr), obs_parent=span,
+            )
             return inode_id
-        remaining = len(data)
-        while remaining > 0:
-            block = yield from self.op(OpType.ADD_BLOCK, path=path, client=str(self.addr))
-            chunk = min(remaining, BLOCK_SIZE_BYTES)
-            yield from self._write_pipeline(block, chunk)
-            remaining -= chunk
-        yield from self.op(
-            OpType.COMPLETE_FILE, path=path, size=len(data), client=str(self.addr)
-        )
-        return inode_id
+        finally:
+            if span is not None:
+                obs.tracer.finish(span)
 
-    def _write_pipeline(self, block, nbytes: int):
+    def _write_pipeline(self, block, nbytes: int, parent_span=None):
         req = WriteBlockReq(
             block_id=block.block_id, nbytes=nbytes, pipeline=tuple(block.locations), hop=0
         )
         try:
             yield self.network.call(
-                self.addr, block.locations[0], "write_block", req, size=nbytes
+                self.addr, block.locations[0], "write_block", req, size=nbytes,
+                parent_span=parent_span,
             )
         except HostUnreachableError as exc:
             raise FsError(f"write pipeline failed: {exc}") from exc
@@ -159,7 +198,22 @@ class HopsFsClient:
         future work motivates: intra-AZ block traffic is free, inter-AZ
         is billed (Section III C2).  Returns the number of bytes read.
         """
-        content = yield from self.op(OpType.READ_FILE, path=path)
+        obs = self.env.obs
+        span = None
+        if obs is not None:
+            span = obs.tracer.start(
+                "client.op", op="read_data",
+                host=str(self.addr), az=self.location_domain_id,
+            )
+        try:
+            total = yield from self._read_data_body(path, span)
+            return total
+        finally:
+            if span is not None:
+                obs.tracer.finish(span)
+
+    def _read_data_body(self, path: str, span):
+        content = yield from self.op(OpType.READ_FILE, path=path, obs_parent=span)
         if content.is_small:
             return len(content.small_data)
         topology = self.network.topology
@@ -190,6 +244,7 @@ class HopsFsClient:
                         "read_block",
                         ReadBlockReq(block_id=block.block_id),
                         size=64,
+                        parent_span=span,
                     )
                     break
                 except (HostUnreachableError, FsError) as exc:

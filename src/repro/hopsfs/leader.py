@@ -81,4 +81,13 @@ class LeaderElectionService:
             if r.updated_ms >= horizon or r.nn_id == self.nn.nn_id
         )
         self.active = live
-        self.leader_id = live[0][0] if live else self.nn.nn_id
+        new_leader = live[0][0] if live else self.nn.nn_id
+        if new_leader != self.leader_id:
+            obs = env.obs
+            if obs is not None:
+                obs.registry.counter("election.leader_changes").inc()
+                obs.tracer.event(
+                    "election.leader_change", host=str(self.nn.addr),
+                    old=self.leader_id, new=new_leader,
+                )
+        self.leader_id = new_leader

@@ -150,8 +150,23 @@ class Namenode:
 
     # --------------------------------------------------------------- fs ops
     def _fs_op(self, msg: Message):
-        op: OpType
         op, kwargs = msg.payload
+        obs = self.env.obs
+        if obs is None:
+            yield from self._fs_op_body(msg, op, kwargs, None)
+            return
+        # Server span: covers handler-pool queueing through reply; parented
+        # under the client's rpc span via the span id the request carried.
+        span = obs.tracer.start(
+            "nn.handle", parent=msg.extra.get("span_id"),
+            host=str(self.addr), az=self.az, op=op.value,
+        )
+        try:
+            yield from self._fs_op_body(msg, op, kwargs, span)
+        finally:
+            obs.tracer.finish(span)
+
+    def _fs_op_body(self, msg: Message, op: OpType, kwargs, span):
         yield self.handler_pool.submit(self.config.op_cost(op))
         if not self.running:
             return
@@ -172,7 +187,8 @@ class Namenode:
         try:
             hint_key = self._hint_for(kwargs)
             result = yield from run_transaction(
-                self.api, body, hint_table=INODES_TABLE, hint_key=hint_key
+                self.api, body, hint_table=INODES_TABLE, hint_key=hint_key,
+                parent_span=span,
             )
         except FsError as exc:
             self.ops_failed += 1

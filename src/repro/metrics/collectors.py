@@ -41,6 +41,10 @@ class MetricsCollector:
     failed: int = 0
     retried: int = 0
     latencies_ms: list[float] = field(default_factory=list)
+    # Failed ops' latencies, kept apart from the success population so
+    # error-path analysis (how long did doomed ops burn?) is possible
+    # without skewing the headline percentiles.
+    failed_latencies_ms: list[float] = field(default_factory=list)
     by_op: dict[OpType, int] = field(default_factory=lambda: defaultdict(int))
     latencies_by_op: dict[OpType, list[float]] = field(
         default_factory=lambda: defaultdict(list)
@@ -66,6 +70,8 @@ class MetricsCollector:
             return
         if not result.ok:
             self.failed += 1
+            self.retried += result.retries
+            self.failed_latencies_ms.append(result.latency_ms)
             return
         self.completed += 1
         self.retried += result.retries
@@ -93,6 +99,12 @@ class MetricsCollector:
         values = self.latencies_by_op[op] if op is not None else self.latencies_ms
         values = sorted(values)
         return {p: percentile(values, p) for p in ps}
+
+    def avg_failed_latency_ms(self) -> float:
+        """Mean time burnt by ops that ultimately failed."""
+        if not self.failed_latencies_ms:
+            return 0.0
+        return sum(self.failed_latencies_ms) / len(self.failed_latencies_ms)
 
     def failure_rate(self) -> float:
         total = self.completed + self.failed

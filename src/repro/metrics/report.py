@@ -5,7 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
-__all__ = ["Table", "format_value", "comparison_line"]
+__all__ = ["Table", "format_value", "comparison_line", "az_skew_note"]
 
 
 def format_value(value) -> str:
@@ -57,6 +57,27 @@ class Table:
     def column(self, header: str) -> list:
         idx = self.headers.index(header)
         return [row[idx] for row in self.rows]
+
+
+def az_skew_note(setup: str, resource, tier: str = "storage") -> Optional[str]:
+    """One-line per-AZ skew summary for a figure note (None if no AZ data).
+
+    ``resource`` is a :class:`repro.metrics.utilization.ResourceReport`
+    whose ``per_az`` field was filled by the adapter.
+    """
+    if not resource.per_az:
+        return None
+    attr = "storage_net_mb_s" if tier == "storage" else "server_net_mb_s"
+    parts = [
+        f"az{az} {format_value(getattr(util, attr))}"
+        for az, util in sorted(resource.per_az.items())
+    ]
+    skew = resource.az_skew(tier)
+    return (
+        f"{setup}: per-AZ {tier} net MB/s per node: "
+        + ", ".join(parts)
+        + f"  (max/mean {skew:.2f}x)"
+    )
 
 
 def comparison_line(

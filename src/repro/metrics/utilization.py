@@ -4,7 +4,69 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-__all__ = ["ResourceReport"]
+__all__ = ["ResourceReport", "AzUtilization", "per_az_utilization"]
+
+
+@dataclass
+class AzUtilization:
+    """Per-AZ network aggregation over one measurement window.
+
+    Rates are per-node averages within the AZ (same convention as the
+    per-node fields of :class:`ResourceReport`), so AZ rows are directly
+    comparable regardless of how many nodes each AZ hosts.
+    """
+
+    az: int
+    storage_nodes: int = 0
+    server_nodes: int = 0
+    storage_net_read_mb_s: float = 0.0
+    storage_net_write_mb_s: float = 0.0
+    server_net_read_mb_s: float = 0.0
+    server_net_write_mb_s: float = 0.0
+
+    @property
+    def storage_net_mb_s(self) -> float:
+        return self.storage_net_read_mb_s + self.storage_net_write_mb_s
+
+    @property
+    def server_net_mb_s(self) -> float:
+        return self.server_net_read_mb_s + self.server_net_write_mb_s
+
+
+def per_az_utilization(delta, storage_addrs, server_addrs, az_of, window_ms: float):
+    """Aggregate a traffic delta into per-AZ, per-node-average rates.
+
+    ``delta`` is a :class:`repro.net.traffic.TrafficMatrix` delta;
+    ``az_of`` maps an address to its AZ.  Returns ``{az: AzUtilization}``
+    sorted by AZ id.
+    """
+    if window_ms <= 0:
+        return {}
+    mb = 1000.0  # bytes/ms -> MB/s, matching the per-node fields
+    sums: dict[int, list] = {}  # az -> [stor_recv, stor_sent, srv_recv, srv_sent, n_stor, n_srv]
+    for addrs, base in ((storage_addrs, 0), (server_addrs, 2)):
+        for addr in addrs:
+            az = az_of(addr)
+            acc = sums.setdefault(az, [0.0, 0.0, 0.0, 0.0, 0, 0])
+            acc[4 + base // 2] += 1
+            node = delta.node.get(addr)
+            if node is None:
+                continue
+            acc[base] += node.received
+            acc[base + 1] += node.sent
+    out = {}
+    for az in sorted(sums):
+        recv_s, sent_s, recv_m, sent_m, n_stor, n_srv = sums[az]
+        out[az] = AzUtilization(
+            az=az,
+            storage_nodes=n_stor,
+            server_nodes=n_srv,
+            storage_net_read_mb_s=recv_s / max(1, n_stor) / window_ms / mb,
+            storage_net_write_mb_s=sent_s / max(1, n_stor) / window_ms / mb,
+            server_net_read_mb_s=recv_m / max(1, n_srv) / window_ms / mb,
+            server_net_write_mb_s=sent_m / max(1, n_srv) / window_ms / mb,
+        )
+    return out
 
 
 @dataclass
@@ -30,6 +92,20 @@ class ResourceReport:
     ndb_thread_cpu_pct: dict[str, float] = field(default_factory=dict)
     cross_az_mb: float = 0.0
     intra_az_mb: float = 0.0
+    # Per-AZ aggregation (az -> AzUtilization), alongside the per-node
+    # averages above; Figures 12/13 use it to report AZ skew.
+    per_az: dict[int, AzUtilization] = field(default_factory=dict)
+
+    def az_skew(self, tier: str = "storage") -> float:
+        """Max/mean ratio of per-AZ network rates (1.0 = perfectly even)."""
+        if not self.per_az:
+            return 1.0
+        attr = "storage_net_mb_s" if tier == "storage" else "server_net_mb_s"
+        rates = [getattr(u, attr) for u in self.per_az.values()]
+        mean = sum(rates) / len(rates)
+        if mean <= 0:
+            return 1.0
+        return max(rates) / mean
 
     def as_rows(self) -> list[tuple[str, float]]:
         rows = [
@@ -44,4 +120,7 @@ class ResourceReport:
             ("cross-AZ MB", self.cross_az_mb),
             ("intra-AZ MB", self.intra_az_mb),
         ]
+        for az, util in sorted(self.per_az.items()):
+            rows.append((f"az{az} storage net MB/s", util.storage_net_mb_s))
+            rows.append((f"az{az} server net MB/s", util.server_net_mb_s))
         return rows

@@ -59,6 +59,9 @@ class NdbTransaction:
         self.txid = api.cluster.next_txid()
         self.finished = False
         self.mutated = False
+        # Set by run_transaction when tracing: the attempt span every RPC of
+        # this transaction parents under.
+        self.obs_span = None
 
     # -- plumbing ---------------------------------------------------------
     def _call(self, kind: str, payload: Any, size: int = 192):
@@ -66,7 +69,10 @@ class NdbTransaction:
             raise NdbError(f"transaction {self.txid} already finished")
         network = self.api.cluster.network
         try:
-            result = yield network.call(self.api.addr, self.tc, kind, payload, size=size)
+            result = yield network.call(
+                self.api.addr, self.tc, kind, payload, size=size,
+                parent_span=self.obs_span,
+            )
         except HostUnreachableError as exc:
             # The TC died (or we got partitioned from it).  NDB's take-over
             # protocol rebuilds/aborts the transaction on another TC; from
@@ -164,24 +170,45 @@ def run_transaction(
     max_retries: int = 12,
     base_backoff_ms: float = 2.0,
     max_backoff_ms: float = 200.0,
+    parent_span=None,
 ):
     """Run ``body(txn)`` (a generator function) with commit and retries.
 
     This is HopsFS's transaction retry mechanism: aborted transactions are
     retried with exponential backoff, which provides backpressure to NDB.
     Non-retryable errors (application errors) abort and propagate.
+
+    When tracing, each attempt gets its own ``ndb.txn`` span under
+    ``parent_span``, tagged with the attempt index, the selected TC and its
+    AZ, and the outcome — TC selection and retry behaviour then read
+    directly off the trace.
     """
     env = api.cluster.env
     rng = api.cluster.rng.stream(f"txnretry:{api.addr}")
+    obs = env.obs
     attempt = 0
     while True:
         txn = api.transaction(hint_table=hint_table, hint_key=hint_key)
+        span = None
+        if obs is not None:
+            span = obs.tracer.start(
+                "ndb.txn", parent=parent_span,
+                host=str(api.addr), tc=str(txn.tc),
+                tc_az=api.cluster.network.topology.az_of(txn.tc),
+                attempt=attempt,
+            )
+            txn.obs_span = span
         try:
             result = yield from body(txn)
             yield from txn.commit()
+            if span is not None:
+                obs.tracer.finish(span, outcome="committed")
             return result
         except TransactionAbortedError as exc:
             yield from txn.abort()
+            if span is not None:
+                obs.tracer.finish(span, outcome="aborted", retryable=exc.retryable)
+                obs.registry.counter("ndb.txn.aborts").inc()
             if not exc.retryable or attempt >= max_retries:
                 raise
             attempt += 1
@@ -191,4 +218,6 @@ def run_transaction(
             raise  # closing a simulation generator must not yield again
         except BaseException:
             yield from txn.abort()
+            if span is not None:
+                obs.tracer.finish(span, outcome="error")
             raise

@@ -161,6 +161,14 @@ class NdbDatanode:
                 continue
             self.env.process(self._handle(msg), name=f"{self.addr}:{msg.kind}")
 
+    # RPC-shaped message kinds that get a server-side span when tracing.
+    # Chain/ack traffic is fire-and-forget and already visible through the
+    # TC span's duration; tracing it individually would double the span
+    # volume for little attribution value.
+    _TRACED_KINDS = frozenset(
+        {"tc_read", "tc_scan", "tc_write", "tc_commit", "tc_abort", "ldm_read", "ldm_scan"}
+    )
+
     def _handle(self, msg: Message):
         yield self.recv_pool.submit(self.costs.recv_msg)
         if not self.running:
@@ -168,7 +176,21 @@ class NdbDatanode:
         handler = self._HANDLERS.get(msg.kind)
         if handler is None:
             raise NdbError(f"{self.addr}: unknown message kind {msg.kind!r}")
-        yield from handler(self, msg)
+        obs = self.env.obs
+        if obs is not None and msg.kind in self._TRACED_KINDS:
+            span = obs.tracer.start(
+                f"ndb.{msg.kind}", parent=msg.extra.get("span_id"),
+                host=str(self.addr), az=self.az,
+            )
+            # Stashed so the handler can parent replica round-trips and
+            # lock waits under this server span.
+            msg.extra["server_span"] = span
+            try:
+                yield from handler(self, msg)
+            finally:
+                obs.tracer.finish(span)
+        else:
+            yield from handler(self, msg)
 
     def _send(self, dst: NodeAddress, kind: str, payload: Any, size: int):
         """Charge the SEND thread, then put the message on the wire."""
@@ -261,9 +283,10 @@ class NdbDatanode:
         if req.lock is not LockMode.NONE:
             txn = self._txn(req.txid, req.client_az)  # refreshes last_active
             txn.read_locks.setdefault(node, {})[(req.table, req.pk)] = None
+        server_span = msg.extra.get("server_span") if self.env.obs is not None else None
         if node == self.addr:
             try:
-                value = yield from self._ldm_read_local(ldm_req)
+                value = yield from self._ldm_read_local(ldm_req, parent=server_span)
             except NdbError as exc:
                 self._reply(msg, exc, ok=False)
                 return
@@ -271,7 +294,8 @@ class NdbDatanode:
             return
         try:
             value = yield self.network.call(
-                self.addr, node, "ldm_read", ldm_req, size=_CHAIN_OVERHEAD_BYTES
+                self.addr, node, "ldm_read", ldm_req, size=_CHAIN_OVERHEAD_BYTES,
+                parent_span=server_span,
             )
         except (HostUnreachableError, NdbError) as exc:
             self._reply(msg, TransactionAbortedError(str(exc)), ok=False)
@@ -305,12 +329,14 @@ class NdbDatanode:
             role=role,
             client_az=req.client_az,
         )
+        server_span = msg.extra.get("server_span") if self.env.obs is not None else None
         if node == self.addr:
             rows = yield from self._ldm_scan_local(ldm_req)
         else:
             try:
                 rows = yield self.network.call(
-                    self.addr, node, "ldm_scan", ldm_req, size=_CHAIN_OVERHEAD_BYTES
+                    self.addr, node, "ldm_scan", ldm_req, size=_CHAIN_OVERHEAD_BYTES,
+                    parent_span=server_span,
                 )
             except (HostUnreachableError, NdbError) as exc:
                 self._reply(msg, TransactionAbortedError(str(exc)), ok=False)
@@ -621,18 +647,19 @@ class NdbDatanode:
     def _ldm_read(self, msg: Message):
         req: LdmReadReq = msg.payload
         try:
-            value = yield from self._ldm_read_local(req)
+            parent = msg.extra.get("server_span") if self.env.obs is not None else None
+            value = yield from self._ldm_read_local(req, parent=parent)
         except NdbError as exc:
             self._reply(msg, exc, ok=False)
             return
         size = self.cluster.schema.table(req.table).row_bytes
         self._reply(msg, value, size=size)
 
-    def _ldm_read_local(self, req: LdmReadReq):
+    def _ldm_read_local(self, req: LdmReadReq, parent=None):
         pool = self._ldm_pool_for(req.partition)
         if req.lock is not LockMode.NONE:
             # Locked reads always run on the primary replica.
-            yield self.locks.acquire(req.txid, (req.table, req.pk), req.lock)
+            yield self.locks.acquire(req.txid, (req.table, req.pk), req.lock, parent=parent)
         yield pool.submit(self.costs.ldm_read)
         if not self.running:
             raise NodeFailedError(f"{self.addr} shut down mid-read")

@@ -26,6 +26,10 @@ class _LockRequest:
     event: Event
     granted: bool = False
     abandoned: bool = False
+    # Tracing only (set when queued under an active ObsContext): when the
+    # request started waiting, and the span the wait reports under.
+    queued_at: float = -1.0
+    obs_parent: object = None
 
 
 @dataclass
@@ -54,11 +58,14 @@ class LockTable:
         self._expire_cb = self._expire
 
     # -- public API -----------------------------------------------------------
-    def acquire(self, txid: int, key: Hashable, mode: LockMode) -> Event:
+    def acquire(self, txid: int, key: Hashable, mode: LockMode, parent=None) -> Event:
         """Request ``mode`` on row ``key``; returns an event granted later.
 
         Fails with :class:`LockTimeoutError` if the deadlock-detection
-        timeout fires first.
+        timeout fires first.  ``parent`` (tracing only) nests the recorded
+        wait span under the caller's span; contended waits are recorded
+        retrospectively at grant/timeout time, immediate grants record
+        nothing.
         """
         if mode is LockMode.NONE:
             raise ValueError("LockMode.NONE is not a lock")
@@ -72,6 +79,9 @@ class LockTable:
         if self._grantable(row, request):
             self._grant(row, request, key)
             return event
+        if self.env.obs is not None:
+            request.queued_at = self.env.now
+            request.obs_parent = parent
         if held is not None:
             # Lock upgrade (S -> X): goes to the front of the queue so the
             # holder is not starved behind newcomers.
@@ -156,6 +166,23 @@ class LockTable:
         self._by_txn.setdefault(request.txid, {})[key] = None
         if not request.event.triggered:
             request.event.succeed()
+        if request.queued_at >= 0.0:
+            self._record_wait(request, key, timed_out=False)
+
+    def _record_wait(self, request: _LockRequest, key: Hashable, timed_out: bool) -> None:
+        """Record a contended wait's span + histogram sample (tracing only)."""
+        obs = self.env.obs
+        if obs is None:
+            return
+        now = self.env.now
+        obs.tracer.record(
+            "ndb.lock.wait", request.queued_at, now,
+            parent=request.obs_parent,
+            key=str(key), mode=request.mode.value, timed_out=timed_out,
+        )
+        obs.registry.histogram("ndb.lock.wait_ms").observe(now - request.queued_at)
+        if timed_out:
+            obs.registry.counter("ndb.lock.timeouts_fired").inc()
 
     def _pump(self, row: _RowLock, key: Hashable) -> None:
         while row.queue:
@@ -176,6 +203,8 @@ class LockTable:
             return
         request.abandoned = True
         self.timeouts_fired += 1
+        if request.queued_at >= 0.0:
+            self._record_wait(request, key, timed_out=True)
         row = self._rows.get(key)
         if row is not None:
             try:

@@ -232,18 +232,58 @@ class Network:
         kind: str,
         payload: Any = None,
         size: int = DEFAULT_MESSAGE_BYTES,
+        parent_span=None,
     ) -> Event:
         """Send a request; the returned event triggers with the reply payload.
 
         Fails with :class:`HostUnreachableError` if the peer is (or becomes)
         unreachable, or with the remote exception if the handler replied
         with ``ok=False``.
+
+        ``parent_span`` links the RPC into an active trace; the request
+        carries the span id in ``Message.extra`` so the remote handler can
+        parent its own spans under this call.
         """
         rpc_id = next(self._rpc_ids)
         done = self.env.event()
         self._pending[rpc_id] = (done, src, dst)
-        self.send(Message(src=src, dst=dst, kind=kind, payload=payload, size=size, rpc_id=rpc_id))
+        message = Message(src=src, dst=dst, kind=kind, payload=payload, size=size, rpc_id=rpc_id)
+        obs = self.env.obs
+        if obs is not None:
+            self._trace_call(obs, message, done, parent_span)
+        self.send(message)
         return done
+
+    def _trace_call(self, obs, message: Message, done: Event, parent_span) -> None:
+        """Open an ``rpc.<kind>`` span closed when the reply event fires.
+
+        Recording only: no kernel events are scheduled and no sequence
+        numbers or RNG draws are consumed, so traced and untraced runs
+        replay the same schedule (the finish callback rides the reply
+        event's existing trigger).
+        """
+        src_az = self.topology.az_of(message.src)
+        dst_az = self.topology.az_of(message.dst)
+        span = obs.tracer.start(
+            f"rpc.{message.kind}",
+            parent=parent_span,
+            host=str(message.src),
+            dst=str(message.dst),
+            src_az=src_az,
+            dst_az=dst_az,
+            cross_az=src_az != dst_az,
+            size=message.size,
+        )
+        message.extra["span_id"] = span.span_id
+        link = "cross_az" if src_az != dst_az else "intra_az"
+        obs.registry.counter(f"net.rpc.{link}").inc()
+        obs.registry.counter(f"net.rpc.{link}_bytes").inc(message.size)
+        tracer = obs.tracer
+
+        def _finish(event, _tracer=tracer, _span=span):
+            _tracer.finish(_span, ok=event._ok)
+
+        done.add_callback(_finish)
 
     def reply(
         self,

@@ -1,0 +1,142 @@
+"""Table-1-style latency breakdown computed from a span trace.
+
+The paper's Table 1 attributes each operation's latency to its metadata
+phase vs. its block phase; Figure 14 counts cross-AZ reads.  This module
+reproduces that attribution from first principles: it walks the span
+trees a traced run recorded and, per operation type, splits the
+end-to-end latency into
+
+* **metadata** — time inside the metadata tier (namenode handler spans on
+  the HopsFS side, MDS handler spans on the CephFS side),
+* **block** — time in block/data RPCs (read_block / write_block / OSD),
+* **lock wait** — time queued in the NDB lock table,
+* **other** — client-side queueing, network transit, retries/backoff,
+
+and counts cross-AZ hops per operation.  ``python -m repro report`` runs
+a traced point for several setups and prints one such table each.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..metrics.report import Table
+from .tracer import Span, Tracer
+
+__all__ = ["OpBreakdown", "phase_breakdown", "breakdown_table"]
+
+# Span names that anchor each phase.  Handler spans on the server side of
+# the metadata tier; block spans are the client-side data RPCs.
+_ROOT_NAMES = ("client.op", "kclient.op")
+_METADATA_NAMES = ("nn.handle", "mds.handle")
+_BLOCK_PREFIXES = ("rpc.read_block", "rpc.write_block", "rpc.osd_read", "rpc.osd_write")
+_LOCK_NAMES = ("ndb.lock.wait", "pathlock.wait")
+
+
+class OpBreakdown:
+    """Aggregated phase attribution for one operation type."""
+
+    __slots__ = ("op", "count", "total_ms", "metadata_ms", "block_ms",
+                 "lock_wait_ms", "cross_az_hops", "retries")
+
+    def __init__(self, op: str):
+        self.op = op
+        self.count = 0
+        self.total_ms = 0.0
+        self.metadata_ms = 0.0
+        self.block_ms = 0.0
+        self.lock_wait_ms = 0.0
+        self.cross_az_hops = 0
+        self.retries = 0
+
+    @property
+    def other_ms(self) -> float:
+        known = self.metadata_ms + self.block_ms + self.lock_wait_ms
+        return max(0.0, self.total_ms - known)
+
+    def avg(self, total: float) -> float:
+        return total / self.count if self.count else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "op": self.op,
+            "count": self.count,
+            "avg_total_ms": self.avg(self.total_ms),
+            "avg_metadata_ms": self.avg(self.metadata_ms),
+            "avg_block_ms": self.avg(self.block_ms),
+            "avg_lock_wait_ms": self.avg(self.lock_wait_ms),
+            "avg_other_ms": self.avg(self.other_ms),
+            "cross_az_hops_per_op": self.cross_az_hops / self.count if self.count else 0.0,
+            "retries": self.retries,
+        }
+
+
+def _descendants(root: Span, children: Dict[Optional[int], List[Span]]) -> List[Span]:
+    out: List[Span] = []
+    stack = [root.span_id]
+    while stack:
+        for child in children.get(stack.pop(), ()):
+            out.append(child)
+            stack.append(child.span_id)
+    return out
+
+
+def phase_breakdown(tracer: Tracer) -> Dict[str, OpBreakdown]:
+    """Attribute each traced operation's latency to phases.
+
+    Only finished root operation spans (``client.op`` / ``kclient.op``)
+    are counted.  Within one operation tree, phase times are summed over
+    that phase's spans — concurrent block fetches therefore count their
+    full service time (attribution, not wall-clock decomposition), which
+    matches how Table 1's phases are reported in the paper.
+    """
+    children = tracer.children_index()
+    out: Dict[str, OpBreakdown] = {}
+    for root in tracer.spans:
+        if root.name not in _ROOT_NAMES or not root.finished:
+            continue
+        op = str(root.tags.get("op", "?"))
+        agg = out.get(op)
+        if agg is None:
+            agg = out[op] = OpBreakdown(op)
+        agg.count += 1
+        agg.total_ms += root.duration_ms
+        agg.retries += int(root.tags.get("retries", 0))
+        for span in _descendants(root, children):
+            if not span.finished:
+                continue
+            if span.name in _METADATA_NAMES:
+                agg.metadata_ms += span.duration_ms
+            elif span.name.startswith(_BLOCK_PREFIXES):
+                agg.block_ms += span.duration_ms
+            elif span.name in _LOCK_NAMES:
+                agg.lock_wait_ms += span.duration_ms
+            if span.name.startswith("rpc.") and span.tags.get("cross_az"):
+                agg.cross_az_hops += 1
+    return out
+
+
+def breakdown_table(tracer: Tracer, title: str = "Latency breakdown") -> Table:
+    """Render :func:`phase_breakdown` as a printable table."""
+    table = Table(
+        title=title,
+        headers=["op", "count", "avg total ms", "metadata ms", "block ms",
+                 "lock wait ms", "other ms", "xAZ hops/op"],
+    )
+    rows = sorted(phase_breakdown(tracer).values(), key=lambda b: -b.count)
+    for b in rows:
+        table.add_row(
+            b.op,
+            b.count,
+            b.avg(b.total_ms),
+            b.avg(b.metadata_ms),
+            b.avg(b.block_ms),
+            b.avg(b.lock_wait_ms),
+            b.avg(b.other_ms),
+            b.cross_az_hops / b.count if b.count else 0.0,
+        )
+    if not rows:
+        table.add_note("no finished operation spans in trace")
+    table.add_note("phases are summed service times within each op's span tree "
+                   "(concurrent block fetches count fully)")
+    return table

@@ -1,0 +1,155 @@
+"""Trace exporters: Chrome trace_event JSON, JSONL spans, schema check.
+
+The Chrome format is the `trace_event` "JSON Array Format" accepted by
+``about://tracing`` and Perfetto: a ``traceEvents`` list of complete
+("ph": "X") events with microsecond ``ts``/``dur``.  We map:
+
+* span name      -> ``name``
+* host tag       -> ``pid`` (one process row per simulated host)
+* root span id   -> ``tid`` (one thread row per request tree, so a whole
+                    client op stacks as nested slices on one track)
+* remaining tags -> ``args``
+
+``validate_chrome_trace`` is shared by the unit tests and the CI job that
+uploads a traced fig5 point as a workflow artifact.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+from .tracer import Span, Tracer
+
+__all__ = [
+    "chrome_trace",
+    "write_chrome_trace",
+    "spans_jsonl",
+    "write_spans_jsonl",
+    "validate_chrome_trace",
+]
+
+
+def _root_of(span: Span, by_id: Dict[int, Span]) -> int:
+    seen = set()
+    cur = span
+    while cur.parent_id is not None and cur.parent_id in by_id:
+        if cur.span_id in seen:  # defensive: cycles cannot normally happen
+            break
+        seen.add(cur.span_id)
+        cur = by_id[cur.parent_id]
+    return cur.span_id
+
+
+def chrome_trace(tracer: Tracer, metadata: Optional[dict] = None) -> dict:
+    """Render finished spans as a Chrome trace_event JSON object."""
+    spans = tracer.finished_spans()
+    by_id = {s.span_id: s for s in tracer.spans}
+    finished_ids = {s.span_id for s in spans}
+    root_cache: Dict[int, int] = {}
+    events: List[dict] = []
+    pids: Dict[str, None] = {}
+    for span in spans:
+        root = root_cache.get(span.span_id)
+        if root is None:
+            root = _root_of(span, by_id)
+            root_cache[span.span_id] = root
+        host = str(span.tags.get("host", "sim"))
+        pids.setdefault(host, None)
+        args = {k: v for k, v in span.tags.items() if k != "host"}
+        args["span_id"] = span.span_id
+        # Only reference parents that are themselves exported: an op still
+        # in flight when the run ends leaves an unfinished root behind.
+        if span.parent_id is not None and span.parent_id in finished_ids:
+            args["parent_id"] = span.parent_id
+        events.append({
+            "name": span.name,
+            "ph": "X",
+            "ts": round(span.start_ms * 1000.0, 3),   # simulated ms -> us
+            "dur": round(span.duration_ms * 1000.0, 3),
+            "pid": host,
+            "tid": f"req-{root}",
+            "cat": span.name.split(".", 1)[0],
+            "args": args,
+        })
+    # Process-name metadata rows make Perfetto group tracks by host.
+    for host in pids:
+        events.append({
+            "name": "process_name", "ph": "M", "pid": host, "tid": "meta",
+            "args": {"name": host},
+        })
+    doc = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"clock": "simulated", "time_unit": "us"},
+    }
+    if metadata:
+        doc["otherData"].update(metadata)
+    return doc
+
+
+def write_chrome_trace(tracer: Tracer, path: str, metadata: Optional[dict] = None) -> None:
+    with open(path, "w") as fh:
+        json.dump(chrome_trace(tracer, metadata), fh)
+        fh.write("\n")
+
+
+def spans_jsonl(tracer: Tracer) -> List[str]:
+    """One JSON object per span, in creation (span id) order."""
+    return [json.dumps(s.as_dict(), sort_keys=True) for s in tracer.spans]
+
+
+def write_spans_jsonl(tracer: Tracer, path: str) -> None:
+    with open(path, "w") as fh:
+        for line in spans_jsonl(tracer):
+            fh.write(line)
+            fh.write("\n")
+
+
+def validate_chrome_trace(doc: dict) -> List[str]:
+    """Check ``doc`` against the trace_event schema; return problem list.
+
+    Empty list means valid.  Checks the structural requirements Perfetto
+    and ``about://tracing`` actually enforce: a ``traceEvents`` array,
+    every event has ``name``/``ph``/``pid``, duration events have
+    non-negative numeric ``ts`` and ``dur``, and parent references in
+    ``args`` resolve to span ids present in the trace.
+    """
+    problems: List[str] = []
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents missing or not a list"]
+    span_ids = set()
+    for ev in events:
+        if isinstance(ev, dict) and ev.get("ph") == "X":
+            sid = ev.get("args", {}).get("span_id")
+            if sid is not None:
+                span_ids.add(sid)
+    for i, ev in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        for key in ("name", "ph", "pid"):
+            if key not in ev:
+                problems.append(f"{where}: missing {key!r}")
+        ph = ev.get("ph")
+        if ph == "X":
+            for key in ("ts", "dur"):
+                val = ev.get(key)
+                if not isinstance(val, (int, float)):
+                    problems.append(f"{where}: {key!r} not numeric")
+                elif val < 0:
+                    problems.append(f"{where}: {key!r} negative ({val})")
+            args = ev.get("args")
+            if not isinstance(args, dict):
+                problems.append(f"{where}: args missing or not an object")
+            else:
+                parent = args.get("parent_id")
+                if parent is not None and parent not in span_ids:
+                    problems.append(f"{where}: parent_id {parent} not in trace")
+        elif ph == "M":
+            pass  # metadata rows are free-form
+        elif not isinstance(ph, str) or len(ph) != 1:
+            problems.append(f"{where}: bad ph {ph!r}")
+    return problems

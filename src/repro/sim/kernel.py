@@ -536,13 +536,18 @@ class Environment:
     are directly comparable across kernel generations.
     """
 
-    __slots__ = ("_now", "_queue", "_seq", "trace")
+    __slots__ = ("_now", "_queue", "_seq", "trace", "obs")
 
     def __init__(self, initial_time: float = 0.0):
         self._now = initial_time
         self._queue: List[tuple] = []
         self._seq = 0
         self.trace: Optional[list] = None
+        # Observability context (repro.obs.ObsContext) or None.  Components
+        # guard every instrumentation site with ``env.obs is not None``;
+        # the kernel itself never reads it, so the dispatch loop is
+        # untouched and untraced runs pay nothing.
+        self.obs = None
 
     @property
     def now(self) -> float:

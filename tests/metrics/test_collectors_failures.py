@@ -1,0 +1,58 @@
+"""Failed-op accounting in MetricsCollector.
+
+Failed operations must contribute their retries and keep their latencies
+in a separate population (``failed_latencies_ms``) so error-path analysis
+never skews the headline success percentiles.
+"""
+
+import pytest
+
+from repro.metrics.collectors import MetricsCollector
+from repro.types import OpResult, OpType
+
+
+def _result(ok, start=0.0, end=5.0, retries=0):
+    return OpResult(op=OpType.STAT, start_ms=start, end_ms=end, ok=ok, retries=retries)
+
+
+def _collector():
+    c = MetricsCollector()
+    c.open_window(0.0)
+    c.close_window(100.0)
+    return c
+
+
+def test_failed_ops_record_latency_and_retries():
+    c = _collector()
+    c.record(_result(ok=False, end=30.0, retries=3))
+    c.record(_result(ok=False, end=10.0, retries=1))
+    assert c.failed == 2
+    assert c.retried == 4
+    assert c.failed_latencies_ms == [30.0, 10.0]
+    assert c.avg_failed_latency_ms() == pytest.approx(20.0)
+
+
+def test_failed_latencies_do_not_skew_success_percentiles():
+    c = _collector()
+    c.record(_result(ok=True, end=1.0))
+    c.record(_result(ok=False, end=99.0, retries=5))
+    assert c.completed == 1
+    assert c.latencies_ms == [1.0]  # success population untouched
+    assert c.latency_percentiles()[99] == 1.0
+    assert c.failure_rate() == pytest.approx(0.5)
+
+
+def test_retries_counted_for_both_outcomes():
+    c = _collector()
+    c.record(_result(ok=True, retries=2))
+    c.record(_result(ok=False, retries=3))
+    assert c.retried == 5
+
+
+def test_out_of_window_failures_ignored():
+    c = _collector()
+    c.record(_result(ok=False, start=100.0, end=150.0, retries=9))
+    assert c.failed == 0
+    assert c.retried == 0
+    assert c.failed_latencies_ms == []
+    assert c.avg_failed_latency_ms() == 0.0

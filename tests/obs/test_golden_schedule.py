@@ -1,0 +1,110 @@
+"""Schedule neutrality: tracing must never perturb the event schedule.
+
+The hard guarantee of the obs layer (see DESIGN.md "Observability") is
+that attaching a tracer changes *nothing* about the simulation: the
+kernel dispatches the exact same (time, priority, seq) sequence with
+observability on and off.  These tests run the same deployment scenario
+both ways with ``env.trace`` recording every dispatch, and require the
+hashed schedules to be bit-identical — any instrumentation that consumes
+an RNG draw, schedules an event, or burns a sequence number fails here.
+"""
+
+import hashlib
+
+from repro.hopsfs import HopsFsConfig, build_hopsfs
+from repro.metrics.collectors import MetricsCollector
+from repro.ndb import NdbConfig
+from repro.obs import ObsContext
+from repro.workloads import ClosedLoopDriver, SpotifyWorkload, generate_namespace
+from repro.workloads.namespace import install_hopsfs
+
+
+def _traced_run(with_obs: bool, seed: int = 5):
+    fs = build_hopsfs(
+        num_namenodes=2,
+        azs=(1, 2, 3),
+        az_aware=True,
+        ndb_config=NdbConfig(num_datanodes=6, replication=3, az_aware=True),
+        hopsfs_config=HopsFsConfig(
+            election_period_ms=50.0, op_cost_read_ms=0.02, op_cost_mutation_ms=0.04
+        ),
+        seed=seed,
+    )
+    env = fs.env
+    env.trace = []  # record every dispatched (when, priority, seq)
+    obs = None
+    if with_obs:
+        obs = ObsContext()
+        obs.attach(env)
+    namespace = generate_namespace(num_top_dirs=2, dirs_per_top=4, files_per_dir=8, seed=seed)
+    install_hopsfs(fs, namespace)
+    clients = [fs.client() for _ in range(8)]
+    collector = MetricsCollector()
+    collector.open_window(0)
+    workload = SpotifyWorkload(namespace, seed=seed)
+    driver = ClosedLoopDriver(env, clients, workload, collector)
+
+    def scenario():
+        yield from fs.await_election()
+        driver.start()
+        yield env.timeout(40)
+        driver.stop()
+
+    env.run_process(scenario(), until=120_000)
+    collector.close_window(env.now)
+    h = hashlib.sha256()
+    for when, prio, seq in env.trace:
+        h.update(f"{when!r}:{prio}:{seq}\n".encode())
+    fingerprint = (
+        len(env.trace),
+        h.hexdigest(),
+        collector.completed,
+        collector.failed,
+        repr(sum(collector.latencies_ms)),
+        fs.network.traffic.messages,
+        fs.network.traffic.total_bytes,
+        tuple(sorted(fs.ndb.read_stats.by_replica.items())),
+    )
+    return fingerprint, obs
+
+
+def test_tracing_is_schedule_neutral():
+    base, _ = _traced_run(with_obs=False)
+    traced, obs = _traced_run(with_obs=True)
+    assert traced == base  # identical (time, priority, seq) dispatch trace
+    assert len(obs.tracer.spans) > 0  # ...while actually having traced
+
+
+def test_traced_run_captures_cross_layer_chain():
+    """client.op -> rpc.fs_op -> nn.handle -> ndb.txn -> rpc.tc_* -> ndb.tc_*."""
+    _fp, obs = _traced_run(with_obs=True)
+    tracer = obs.tracer
+    by_id = {s.span_id: s for s in tracer.spans}
+
+    def chain(span):
+        names = []
+        while span is not None:
+            names.append(span.name)
+            span = by_id.get(span.parent_id)
+        return list(reversed(names))
+
+    chains = {tuple(chain(s)) for s in tracer.finished_spans()}
+    assert ("client.op", "rpc.fs_op", "nn.handle", "ndb.txn", "rpc.tc_read",
+            "ndb.tc_read") in chains
+    # Commit leg of the same tree.
+    assert ("client.op", "rpc.fs_op", "nn.handle", "ndb.txn", "rpc.tc_commit",
+            "ndb.tc_commit") in chains
+    # Spans nest in time within their parents.
+    for span in tracer.finished_spans():
+        parent = by_id.get(span.parent_id)
+        if parent is not None and parent.finished and span.name != "ndb.lock.wait":
+            assert span.start_ms >= parent.start_ms
+            assert span.end_ms <= parent.end_ms + 1e-9
+
+
+def test_traced_run_populates_registry():
+    _fp, obs = _traced_run(with_obs=True)
+    snap = obs.registry.snapshot()
+    assert snap["counters"]["net.rpc.intra_az"] > 0
+    assert snap["counters"]["net.rpc.cross_az"] > 0
+    assert snap["counters"]["net.rpc.cross_az_bytes"] > 0

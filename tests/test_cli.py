@@ -38,3 +38,42 @@ def test_point_runs(capsys):
     out = capsys.readouterr().out
     assert "throughput" in out
     assert "ops/s" in out
+
+
+def test_point_trace_writes_valid_chrome_trace(tmp_path, capsys):
+    import json
+
+    from repro.obs import validate_chrome_trace
+
+    trace = tmp_path / "trace.json"
+    jsonl = tmp_path / "spans.jsonl"
+    code = main([
+        "point", "HopsFS-CL (3,3)", "--servers", "3",
+        "--warmup", "3", "--window", "3",
+        "--trace", str(trace), "--trace-jsonl", str(jsonl),
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "Latency breakdown" in out
+    assert "perfetto" in out
+    doc = json.loads(trace.read_text())
+    assert validate_chrome_trace(doc) == []
+    assert any(e.get("name") == "client.op" for e in doc["traceEvents"])
+    first = json.loads(jsonl.read_text().splitlines()[0])
+    assert "span_id" in first
+
+
+def test_report_prints_breakdown_per_setup(capsys):
+    code = main([
+        "report", "--setups", "HopsFS (2,1)", "CephFS",
+        "--servers", "1", "--warmup", "3", "--window", "3",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert out.count("Latency breakdown") == 2
+    assert "HopsFS (2,1)" in out
+    assert "CephFS" in out
+
+
+def test_report_unknown_setup(capsys):
+    assert main(["report", "--setups", "NopeFS"]) == 2
