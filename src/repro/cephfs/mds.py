@@ -89,18 +89,42 @@ class Mds:
         self.cache_grants = 0
         self.running = False
         self._ids = iter(range(10_000_000 * (rank + 1), 10_000_000 * (rank + 2)))
+        self._dispatch_proc = None
+        self._journal_proc = None
 
     # ------------------------------------------------------------------ life
     def start(self) -> None:
         if self.running:
             return
         self.running = True
-        self.env.process(self._dispatch(), name=f"{self.addr}:mds")
-        self.env.process(self._journal_loop(), name=f"{self.addr}:journal")
+        if self._dispatch_proc is None or not self._dispatch_proc.is_alive:
+            self._dispatch_proc = self.env.process(
+                self._dispatch(), name=f"{self.addr}:mds"
+            )
+        if self._journal_proc is None or not self._journal_proc.is_alive:
+            self._journal_proc = self.env.process(
+                self._journal_loop(), name=f"{self.addr}:journal"
+            )
 
     def shutdown(self) -> None:
         self.running = False
         self.network.set_down(self.addr)
+
+    def restart(self) -> None:
+        """Rejoin as an empty standby after a crash.
+
+        The in-memory shard died with the process; any subtrees this rank was
+        authoritative for were failed over (journal replay onto a standby) by
+        the cluster's failover monitor, so the restarted daemon comes back
+        with a clean cache rather than resurrecting stale inodes.
+        """
+        if self.running:
+            return
+        self.shard = _Shard()
+        self.capabilities = {}
+        self.journal_pending_bytes = 0
+        self.network.set_up(self.addr)
+        self.start()
 
     # -------------------------------------------------------------- namespace
     def load(self, path: str, is_dir: bool, size: int = 0) -> None:

@@ -39,16 +39,27 @@ class Osd:
         self.disk = Disk(env, disk_bandwidth_bytes_per_ms, name=f"{addr}:disk")
         self.objects: dict[str, int] = {}
         self.running = False
+        self._dispatch_proc = None
 
     def start(self) -> None:
         if self.running:
             return
         self.running = True
-        self.env.process(self._dispatch(), name=f"{self.addr}:osd")
+        if self._dispatch_proc is None or not self._dispatch_proc.is_alive:
+            self._dispatch_proc = self.env.process(
+                self._dispatch(), name=f"{self.addr}:osd"
+            )
 
     def shutdown(self) -> None:
         self.running = False
         self.network.set_down(self.addr)
+
+    def restart(self) -> None:
+        """Rejoin after a crash; stored objects survive on disk."""
+        if self.running:
+            return
+        self.network.set_up(self.addr)
+        self.start()
 
     def _dispatch(self):
         while True:

@@ -1,0 +1,53 @@
+"""Deterministic fault injection for both stacks (the chaos layer).
+
+Declarative :class:`FaultSchedule`\\ s of timed :class:`FaultEvent`\\ s —
+node crashes/recoveries, AZ outages, network partitions, degraded links —
+are executed inside the DES by a :class:`FaultInjector` against a
+:class:`ChaosTarget` wrapping either HopsFS/NDB or CephFS.  Runs are
+schedule-deterministic (same seed + schedule ⇒ bit-identical kernel
+dispatch sequence) and verified against the invariant catalogue in
+:mod:`repro.chaos.invariants`.  ``python -m repro chaos`` drives the
+named scenarios in :mod:`repro.chaos.scenarios`.
+"""
+
+from .injector import FaultInjector
+from .invariants import (
+    InvariantVerdict,
+    verify_cephfs,
+    verify_hopsfs,
+    verify_target,
+)
+from .schedule import ACTIONS, FaultEvent, FaultSchedule, parse_node
+from .scenarios import SCENARIOS, ChaosRunResult, Scenario, run_scenario
+from .targets import (
+    CephTarget,
+    ChaosTarget,
+    HopsFsTarget,
+    build_chaos_target,
+    resolve_setup,
+    setup_slug,
+)
+from .timeline import TimelineCollector
+
+__all__ = [
+    "ACTIONS",
+    "FaultEvent",
+    "FaultSchedule",
+    "parse_node",
+    "FaultInjector",
+    "InvariantVerdict",
+    "verify_hopsfs",
+    "verify_cephfs",
+    "verify_target",
+    "ChaosTarget",
+    "HopsFsTarget",
+    "CephTarget",
+    "build_chaos_target",
+    "setup_slug",
+    "resolve_setup",
+    "TimelineCollector",
+    "SCENARIOS",
+    "Scenario",
+    "ChaosRunResult",
+    "run_scenario",
+]

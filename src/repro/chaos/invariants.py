@@ -1,0 +1,232 @@
+"""The invariant catalogue: contracts a file system must never violate.
+
+Extracted from the original chaos soak test so experiments, the chaos
+matrix, and the ``repro chaos`` CLI all verify the same things.  Each
+check returns an :class:`InvariantVerdict`; :func:`verify_target` runs
+the full catalogue appropriate to a chaos target's stack.
+
+All checks inspect simulator ground truth (fragment stores, lock tables,
+block maps) rather than client-visible state, so they catch corruption
+the workload would paper over.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "InvariantVerdict",
+    "replica_consistency",
+    "namespace_integrity",
+    "no_stuck_state",
+    "block_durability",
+    "block_az_coverage",
+    "ceph_namespace_integrity",
+    "ceph_subtrees_served",
+    "verify_hopsfs",
+    "verify_cephfs",
+    "verify_target",
+]
+
+
+@dataclass(frozen=True)
+class InvariantVerdict:
+    """Outcome of one invariant check."""
+
+    name: str
+    ok: bool
+    detail: str = ""
+
+    def __str__(self) -> str:
+        mark = "PASS" if self.ok else "FAIL"
+        return f"[{mark}] {self.name}" + (f": {self.detail}" if self.detail else "")
+
+
+# ---------------------------------------------------------------- HopsFS/NDB
+def replica_consistency(fs) -> InvariantVerdict:
+    """All live members of each NDB node group agree on committed rows."""
+    pm = fs.ndb.partition_map
+    mismatches = []
+    for group in pm.node_groups:
+        live = [fs.ndb.datanodes[a] for a in group if pm.is_up(a)]
+        if len(live) < 2:
+            continue
+        reference = live[0]
+        for table in fs.ndb.schema.tables():
+            if table.name == "leader":
+                continue  # election rows churn continuously
+            ref_rows = dict(reference.store.iter_rows(table.name))
+            for other in live[1:]:
+                other_rows = dict(other.store.iter_rows(table.name))
+                if ref_rows != other_rows:
+                    diff = set(ref_rows) ^ set(other_rows)
+                    mismatches.append(
+                        f"{table.name}: {reference.addr} vs {other.addr} "
+                        f"({len(diff)} keys differ)"
+                    )
+    return InvariantVerdict(
+        "replica-consistency", not mismatches, "; ".join(mismatches[:5])
+    )
+
+
+def namespace_integrity(fs) -> InvariantVerdict:
+    """Every inode's parent exists (no orphans)."""
+    inodes = {}
+    for dn in fs.ndb.datanodes.values():
+        if not dn.running:
+            continue
+        for _pk, row in dn.store.iter_rows("inodes"):
+            inodes[row.id] = row
+    ids = {row.id for row in inodes.values()} | {1}
+    orphans = [
+        row
+        for row in inodes.values()
+        if row.parent_id != 0 and row.parent_id not in ids
+    ]
+    detail = "; ".join(f"inode {r.id} ({r.name!r}) parent {r.parent_id}" for r in orphans[:5])
+    return InvariantVerdict("namespace-integrity", not orphans, detail)
+
+
+def _in_flight_txids(cluster) -> set[int]:
+    """Transactions some running TC touched within the inactivity timeout."""
+    now = cluster.env.now
+    grace = cluster.config.inactive_timeout_ms
+    live = set()
+    for dn in cluster.datanodes.values():
+        if not dn.running:
+            continue
+        for txid, txn in dn.txns.items():
+            if not txn.finished and now - txn.last_active_ms <= grace:
+                live.add(txid)
+    return live
+
+
+def no_stuck_state(fs) -> InvariantVerdict:
+    """No *stale* prepared rows, held locks, or registered transactions.
+
+    State owned by a transaction that is live right now is in-flight, not
+    stuck — HopsFS's leader election commits ``leader`` rows continuously,
+    so a snapshot can always catch one mid-2PC.  Stuck means the owning
+    transaction is unknown to every running TC or has been inactive past
+    the inactivity timeout (i.e. nothing will ever clean it up).
+    """
+    live = _in_flight_txids(fs.ndb)
+    problems = []
+    for dn in fs.ndb.datanodes.values():
+        if not dn.running:
+            continue
+        prepared = sum(1 for _key, txid in dn.store.iter_prepared() if txid not in live)
+        if prepared:
+            problems.append(f"{dn.addr}: {prepared} stale prepared rows")
+        locked = sum(
+            1
+            for _key, txids in dn.locks.active_row_txids().items()
+            if not txids <= live
+        )
+        if locked:
+            problems.append(f"{dn.addr}: {locked} stale locked rows")
+    stale_txns = [txid for txid in fs.ndb.registered_txids() if txid not in live]
+    if stale_txns:
+        problems.append(f"{len(stale_txns)} stale registered transactions")
+    return InvariantVerdict("no-stuck-state", not problems, "; ".join(problems[:5]))
+
+
+def _block_replicas(fs):
+    """Ground truth: block id -> set of block DNs physically holding it."""
+    holders: dict[int, set] = {}
+    for dn in fs.block_datanodes:
+        for block_id in dn.blocks:
+            holders.setdefault(block_id, set()).add(dn)
+    return holders
+
+
+def block_durability(fs) -> InvariantVerdict:
+    """Every block ever stored still has at least one live replica."""
+    lost = []
+    for block_id, dns in sorted(_block_replicas(fs).items()):
+        if not any(dn.running for dn in dns):
+            lost.append(str(block_id))
+    return InvariantVerdict(
+        "block-durability", not lost, f"blocks with no live replica: {','.join(lost[:5])}"
+        if lost else "",
+    )
+
+
+def block_az_coverage(fs, replication: int = 3) -> InvariantVerdict:
+    """AZ-aware placements keep >=1 replica per AZ (up to ``replication``).
+
+    The paper's Section IV-C guarantee: after an AZ outage and the
+    leader-driven re-replication, every block again spans
+    ``min(replication, num_azs)`` distinct AZs.  Only meaningful for
+    AZ-aware deployments spanning more than one AZ.
+    """
+    if not fs.az_aware or len(fs.azs) < 2:
+        return InvariantVerdict("block-az-coverage", True, "n/a (not AZ-aware)")
+    want = min(replication, len(fs.azs))
+    thin = []
+    for block_id, dns in sorted(_block_replicas(fs).items()):
+        azs = {dn.az for dn in dns if dn.running}
+        if len(azs) < want:
+            thin.append(f"block {block_id} only in az{sorted(azs)}")
+    return InvariantVerdict("block-az-coverage", not thin, "; ".join(thin[:5]))
+
+
+# ------------------------------------------------------------------- CephFS
+def ceph_namespace_integrity(cluster) -> InvariantVerdict:
+    """Every inode on a running MDS has a reachable parent directory."""
+    known = set()
+    for mds in cluster.mds_list:
+        if mds.running:
+            known.update(mds.shard.inodes)
+    orphans = []
+    for mds in cluster.mds_list:
+        if not mds.running:
+            continue
+        for path in mds.shard.inodes:
+            parent = path.rsplit("/", 1)[0] or "/"
+            if parent != "/" and parent not in known:
+                orphans.append(f"{path} (parent {parent} missing)")
+    return InvariantVerdict(
+        "ceph-namespace-integrity", not orphans, "; ".join(sorted(orphans)[:5])
+    )
+
+
+def ceph_subtrees_served(cluster) -> InvariantVerdict:
+    """Every rank resolves (through failover overrides) to a running MDS."""
+    unserved = []
+    partitioner = cluster.partitioner
+    for rank in range(partitioner.num_ranks):
+        effective = partitioner._resolve_override(rank)
+        mds = cluster.mds_list[effective % len(cluster.mds_list)]
+        if not mds.running:
+            unserved.append(f"rank {rank} -> {mds.addr} (down)")
+    return InvariantVerdict(
+        "ceph-subtrees-served", not unserved, "; ".join(unserved[:5])
+    )
+
+
+# ----------------------------------------------------------------- dispatch
+def verify_hopsfs(fs) -> list[InvariantVerdict]:
+    return [
+        replica_consistency(fs),
+        namespace_integrity(fs),
+        no_stuck_state(fs),
+        block_durability(fs),
+        block_az_coverage(fs),
+    ]
+
+
+def verify_cephfs(cluster) -> list[InvariantVerdict]:
+    return [
+        ceph_namespace_integrity(cluster),
+        ceph_subtrees_served(cluster),
+    ]
+
+
+def verify_target(target) -> list[InvariantVerdict]:
+    """Run the invariant catalogue matching a chaos target's stack."""
+    if target.kind == "hopsfs":
+        return verify_hopsfs(target.fs)
+    if target.kind == "cephfs":
+        return verify_cephfs(target.cluster)
+    raise ValueError(f"unknown chaos target kind {target.kind!r}")

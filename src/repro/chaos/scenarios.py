@@ -1,0 +1,270 @@
+"""Named chaos scenarios: schedule + workload + verification, end to end.
+
+A scenario runs the Spotify mix against a chaos-tuned deployment while a
+:class:`FaultInjector` executes its fault schedule, then drains in-flight
+work and verifies the full invariant catalogue.  Results carry the
+availability timeline, the executed fault trace, the invariant verdicts,
+and the kernel dispatch hash (same scenario + setup + seed ⇒ identical
+hash, traced or untraced — the determinism contract).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..errors import ReproError
+from ..workloads.driver import ClosedLoopDriver
+from ..workloads.namespace import generate_namespace
+from ..workloads.spotify import SpotifyWorkload
+from .injector import FaultInjector
+from .invariants import InvariantVerdict, verify_target
+from .schedule import FaultSchedule
+from .targets import ChaosTarget, build_chaos_target
+from .timeline import TimelineCollector
+
+__all__ = ["Scenario", "SCENARIOS", "ChaosRunResult", "run_scenario"]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One named fault-injection experiment."""
+
+    name: str
+    description: str
+    # Builds the schedule against a live target (so it can name that
+    # target's AZs and metadata servers).
+    schedule_fn: Callable[[ChaosTarget], FaultSchedule]
+    load_ms: float = 420.0  # workload runs this long (sim ms)
+    drain_ms: float = 400.0  # quiesce window after the workload stops
+    clients: int = 12
+    bucket_ms: float = 20.0
+    seed_large_files: int = 3  # HopsFS: pre-fault block-layer payloads
+
+
+def _az_outage_schedule(target: ChaosTarget) -> FaultSchedule:
+    az = target.azs[-1]
+    return FaultSchedule().az_outage(60.0, az).az_heal(220.0, az)
+
+
+def _rolling_restarts_schedule(target: ChaosTarget) -> FaultSchedule:
+    schedule = FaultSchedule()
+    t = 60.0
+    for node in target.server_node_ids():
+        schedule.crash_node(t, node)
+        schedule.recover_node(t + 40.0, node)
+        t += 80.0
+    return schedule
+
+
+def _partition_schedule(target: ChaosTarget) -> FaultSchedule:
+    if len(target.azs) < 2:
+        raise ReproError(f"{target.name} spans one AZ; nothing to partition")
+    # Isolate the last AZ; the arbitrator (lowest-loaded AZ, ties to the
+    # lowest id) stays on the majority side, which therefore wins.
+    minority = (target.azs[-1],)
+    majority = tuple(az for az in target.azs if az != target.azs[-1])
+    return (
+        FaultSchedule()
+        .partition(60.0, minority, majority)
+        .heal(260.0)
+        .recover_all(261.0)
+    )
+
+
+def _degraded_link_schedule(target: ChaosTarget) -> FaultSchedule:
+    if len(target.azs) < 2:
+        raise ReproError(f"{target.name} spans one AZ; no inter-AZ link to degrade")
+    return (
+        FaultSchedule()
+        .degrade_link(60.0, target.azs[0], target.azs[-1], extra_ms=5.0)
+        .restore_links(260.0)
+    )
+
+
+SCENARIOS: dict[str, Scenario] = {
+    s.name: s
+    for s in (
+        Scenario(
+            "az-outage-under-load",
+            "full AZ outage at t=60ms, healed at t=220ms, under the Spotify mix",
+            _az_outage_schedule,
+        ),
+        Scenario(
+            "rolling-namenode-restarts",
+            "crash and restart each metadata server in turn (40ms outages)",
+            _rolling_restarts_schedule,
+            load_ms=420.0,
+            drain_ms=300.0,
+        ),
+        Scenario(
+            "network-partition",
+            "isolate one AZ at t=60ms; heal and recover losers at t=260ms",
+            _partition_schedule,
+        ),
+        Scenario(
+            "degraded-link",
+            "add 5ms latency on one inter-AZ path between t=60ms and t=260ms",
+            _degraded_link_schedule,
+            drain_ms=200.0,
+        ),
+    )
+}
+
+
+@dataclass
+class ChaosRunResult:
+    """Everything a chaos scenario run produced."""
+
+    scenario: str
+    setup: str
+    seed: int
+    schedule: list[dict]
+    fault_trace: list[tuple[float, str, str]]
+    timeline: list[dict]
+    verdicts: list[InvariantVerdict]
+    completed: int
+    failed: int
+    events: int
+    dispatch_hash: str
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def all_green(self) -> bool:
+        return all(v.ok for v in self.verdicts)
+
+    def to_json(self) -> dict:
+        return {
+            "scenario": self.scenario,
+            "setup": self.setup,
+            "seed": self.seed,
+            "schedule": self.schedule,
+            "fault_trace": [list(entry) for entry in self.fault_trace],
+            "timeline": self.timeline,
+            "invariants": [
+                {"name": v.name, "ok": v.ok, "detail": v.detail} for v in self.verdicts
+            ],
+            "completed": self.completed,
+            "failed": self.failed,
+            "events": self.events,
+            "dispatch_hash": self.dispatch_hash,
+            "all_green": self.all_green,
+        }
+
+    def render(self) -> str:
+        """Human-readable availability timeline plus invariant verdicts."""
+        lines = [
+            f"scenario:  {self.scenario}",
+            f"setup:     {self.setup} (seed {self.seed})",
+            f"ops:       {self.completed} completed, {self.failed} failed",
+            f"dispatch:  {self.events} events, hash {self.dispatch_hash[:16]}…",
+            "",
+            "faults:",
+        ]
+        for when, action, detail in self.fault_trace:
+            lines.append(f"  t={when:8.1f}ms  {action:<14} {detail}")
+        lines.append("")
+        lines.append("availability timeline:")
+        lines.append("  t(ms)      ok fail  avail")
+        for row in self.timeline:
+            avail = row["availability"]
+            if avail is None:
+                bar, pct = "(idle)", "  --  "
+            else:
+                bar = "#" * round(avail * 20)
+                pct = f"{avail * 100:5.1f}%"
+            lines.append(
+                f"  {row['t_ms']:8.0f} {row['ok']:4d} {row['failed']:4d}  {pct} {bar}"
+            )
+        lines.append("")
+        lines.append("invariants:")
+        for verdict in self.verdicts:
+            lines.append(f"  {verdict}")
+        return "\n".join(lines)
+
+
+def run_scenario(
+    scenario: str | Scenario,
+    setup: str = "HopsFS-CL (3,3)",
+    num_servers: int = 3,
+    seed: int = 99,
+    obs=None,
+    clients: Optional[int] = None,
+    load_ms: Optional[float] = None,
+) -> ChaosRunResult:
+    """Run one named scenario against one setup; returns the full result.
+
+    ``clients`` / ``load_ms`` override the scenario defaults (tests use
+    smaller values to keep the suite fast).  Pass an
+    :class:`repro.obs.ObsContext` as ``obs`` to trace the run — tracing is
+    schedule-neutral, so the dispatch hash must not change.
+    """
+    if isinstance(scenario, str):
+        if scenario not in SCENARIOS:
+            raise ReproError(
+                f"unknown scenario {scenario!r} (have: {', '.join(sorted(SCENARIOS))})"
+            )
+        scenario = SCENARIOS[scenario]
+    n_clients = clients if clients is not None else scenario.clients
+    run_ms = load_ms if load_ms is not None else scenario.load_ms
+
+    target = build_chaos_target(setup, num_servers=num_servers, seed=seed)
+    env = target.env
+    env.trace = []  # record every dispatched (when, priority, seq)
+    if obs is not None:
+        obs.attach(env)
+
+    namespace = generate_namespace(
+        num_top_dirs=2, dirs_per_top=6, files_per_dir=6, seed=seed
+    )
+    target.install(namespace)
+    schedule = scenario.schedule_fn(target)
+    if schedule.end_ms() > run_ms:
+        raise ReproError(
+            f"{scenario.name}: schedule runs to {schedule.end_ms()}ms "
+            f"but the load window is only {run_ms}ms"
+        )
+    injector = FaultInjector(target, schedule)
+    collector = TimelineCollector(bucket_ms=scenario.bucket_ms)
+    collector.open_window(0)
+    client_list = [target.make_client() for _ in range(n_clients)]
+    workload = SpotifyWorkload(namespace, seed=seed)
+    driver = ClosedLoopDriver(env, client_list, workload, collector)
+
+    def scenario_proc():
+        yield from target.ready()
+        yield from target.seed_blocks(scenario.seed_large_files)
+        start = env.now
+        driver.start()
+        fault_proc = injector.start()
+        yield fault_proc
+        remaining = start + run_ms - env.now
+        if remaining > 0:
+            yield env.timeout(remaining)
+        driver.stop()
+        yield env.timeout(scenario.drain_ms)
+
+    env.run_process(scenario_proc(), until=600_000)
+    collector.close_window(env.now)
+
+    h = hashlib.sha256()
+    for when, prio, seq in env.trace:
+        h.update(f"{when!r}:{prio}:{seq}\n".encode())
+
+    result = ChaosRunResult(
+        scenario=scenario.name,
+        setup=target.name,
+        seed=seed,
+        schedule=schedule.to_dicts(),
+        fault_trace=list(injector.trace),
+        timeline=collector.timeline(),
+        verdicts=verify_target(target),
+        completed=collector.completed,
+        failed=collector.failed,
+        events=env._seq,
+        dispatch_hash=h.hexdigest(),
+    )
+    result.extra["target"] = target
+    result.extra["collector"] = collector
+    return result

@@ -1,0 +1,221 @@
+"""Declarative fault schedules: timed fault events against a deployment.
+
+A :class:`FaultSchedule` is a list of :class:`FaultEvent`\\ s, each firing
+at a time relative to the moment the injector starts (i.e. when the load
+begins, after election/preload).  Schedules are data (they serialize to and
+from plain dicts), validated up front, and executed by
+:class:`repro.chaos.injector.FaultInjector` — the Jepsen-nemesis shape,
+but deterministic: the same schedule against the same seeded deployment
+replays a bit-identical DES event sequence (see DESIGN.md
+"Fault injection").
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from ..errors import ReproError
+from ..types import NodeAddress, NodeKind
+
+__all__ = ["ACTIONS", "FaultEvent", "FaultSchedule", "parse_node"]
+
+# Every action the injector knows how to execute.
+ACTIONS = frozenset(
+    {
+        "crash_node",  # kill one daemon (NDB datanode, NN, block DN, mgmd, MDS, OSD)
+        "recover_node",  # restart one crashed daemon (NDB nodes copy fragments)
+        "az_outage",  # crash every managed daemon in one AZ
+        "az_heal",  # recover every crashed daemon in one AZ
+        "partition",  # cut connectivity between two AZ groups
+        "heal",  # heal all partitions (and reset NDB arbitration epochs)
+        "degrade_link",  # add latency on one inter-AZ path
+        "restore_links",  # remove all link degradations
+        "recover_all",  # restart every crashed daemon, cluster-wide
+    }
+)
+
+# Longest kind prefixes first so "ndb_mgmd1" never parses as "ndbd".
+_KIND_PREFIXES = sorted(
+    ((kind.value, kind) for kind in NodeKind), key=lambda kv: -len(kv[0])
+)
+
+
+def parse_node(node: str) -> NodeAddress:
+    """Parse a node id like ``"ndbd3"`` / ``"nn1"`` into a NodeAddress."""
+    for prefix, kind in _KIND_PREFIXES:
+        if node.startswith(prefix) and node[len(prefix):].isdigit():
+            return NodeAddress(kind, int(node[len(prefix):]))
+    raise ReproError(f"unparseable node id {node!r} (expected e.g. 'ndbd1', 'nn2')")
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One timed fault.  Which fields apply depends on ``action``."""
+
+    at_ms: float
+    action: str
+    node: Optional[str] = None  # crash_node / recover_node
+    az: Optional[int] = None  # az_outage / az_heal
+    groups: Optional[tuple[tuple[int, ...], tuple[int, ...]]] = None  # partition
+    az_pair: Optional[tuple[int, int]] = None  # degrade_link
+    extra_ms: float = 0.0  # degrade_link
+
+    def __post_init__(self) -> None:
+        # Normalize numerics so repr() — and thus fingerprint() — is stable
+        # across int/float spellings of the same schedule.
+        object.__setattr__(self, "at_ms", float(self.at_ms))
+        object.__setattr__(self, "extra_ms", float(self.extra_ms))
+
+    def validate(self) -> None:
+        if self.action not in ACTIONS:
+            raise ReproError(f"unknown fault action {self.action!r}")
+        if self.at_ms < 0:
+            raise ReproError(f"{self.action}: negative fire time {self.at_ms!r}")
+        if self.action in ("crash_node", "recover_node"):
+            if not self.node:
+                raise ReproError(f"{self.action} needs node=")
+            parse_node(self.node)
+        elif self.action in ("az_outage", "az_heal"):
+            if self.az is None:
+                raise ReproError(f"{self.action} needs az=")
+        elif self.action == "partition":
+            if not self.groups or len(self.groups) != 2:
+                raise ReproError("partition needs groups=((..azs..), (..azs..))")
+            a, b = frozenset(self.groups[0]), frozenset(self.groups[1])
+            if not a or not b or a & b:
+                raise ReproError(f"partition groups invalid: {self.groups!r}")
+        elif self.action == "degrade_link":
+            if not self.az_pair or len(self.az_pair) != 2:
+                raise ReproError("degrade_link needs az_pair=(az_a, az_b)")
+            if self.extra_ms <= 0:
+                raise ReproError(f"degrade_link needs extra_ms > 0, got {self.extra_ms!r}")
+        # heal / restore_links / recover_all take no operands
+
+    def as_dict(self) -> dict:
+        out = {"at_ms": self.at_ms, "action": self.action}
+        if self.node is not None:
+            out["node"] = self.node
+        if self.az is not None:
+            out["az"] = self.az
+        if self.groups is not None:
+            out["groups"] = [list(g) for g in self.groups]
+        if self.az_pair is not None:
+            out["az_pair"] = list(self.az_pair)
+        if self.extra_ms:
+            out["extra_ms"] = self.extra_ms
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultEvent":
+        groups = data.get("groups")
+        az_pair = data.get("az_pair")
+        event = cls(
+            at_ms=float(data["at_ms"]),
+            action=data["action"],
+            node=data.get("node"),
+            az=data.get("az"),
+            groups=tuple(tuple(g) for g in groups) if groups else None,
+            az_pair=tuple(az_pair) if az_pair else None,
+            extra_ms=float(data.get("extra_ms", 0.0)),
+        )
+        event.validate()
+        return event
+
+    def describe(self) -> str:
+        if self.action in ("crash_node", "recover_node"):
+            return f"{self.action} {self.node}"
+        if self.action in ("az_outage", "az_heal"):
+            return f"{self.action} az{self.az}"
+        if self.action == "partition":
+            a, b = self.groups
+            return f"partition az{list(a)}|az{list(b)}"
+        if self.action == "degrade_link":
+            return f"degrade_link az{self.az_pair[0]}-az{self.az_pair[1]} +{self.extra_ms}ms"
+        return self.action
+
+
+@dataclass
+class FaultSchedule:
+    """An ordered list of fault events (a nemesis schedule).
+
+    Events fire in ``(at_ms, insertion order)`` order, so two events at
+    the same instant execute in the order they were added — schedules are
+    fully deterministic data, never consulting an RNG.
+    """
+
+    _events: list[FaultEvent] = field(default_factory=list)
+
+    def __init__(self, events: Iterable[FaultEvent] = ()):
+        self._events = []
+        for event in events:
+            self.add(event)
+
+    # -- construction (fluent) ------------------------------------------------
+    def add(self, event: FaultEvent) -> "FaultSchedule":
+        event.validate()
+        self._events.append(event)
+        return self
+
+    def crash_node(self, at_ms: float, node: str) -> "FaultSchedule":
+        return self.add(FaultEvent(at_ms, "crash_node", node=node))
+
+    def recover_node(self, at_ms: float, node: str) -> "FaultSchedule":
+        return self.add(FaultEvent(at_ms, "recover_node", node=node))
+
+    def az_outage(self, at_ms: float, az: int) -> "FaultSchedule":
+        return self.add(FaultEvent(at_ms, "az_outage", az=az))
+
+    def az_heal(self, at_ms: float, az: int) -> "FaultSchedule":
+        return self.add(FaultEvent(at_ms, "az_heal", az=az))
+
+    def partition(self, at_ms: float, group_a, group_b) -> "FaultSchedule":
+        return self.add(
+            FaultEvent(at_ms, "partition", groups=(tuple(group_a), tuple(group_b)))
+        )
+
+    def heal(self, at_ms: float) -> "FaultSchedule":
+        return self.add(FaultEvent(at_ms, "heal"))
+
+    def degrade_link(self, at_ms: float, az_a: int, az_b: int, extra_ms: float) -> "FaultSchedule":
+        return self.add(
+            FaultEvent(at_ms, "degrade_link", az_pair=(az_a, az_b), extra_ms=extra_ms)
+        )
+
+    def restore_links(self, at_ms: float) -> "FaultSchedule":
+        return self.add(FaultEvent(at_ms, "restore_links"))
+
+    def recover_all(self, at_ms: float) -> "FaultSchedule":
+        return self.add(FaultEvent(at_ms, "recover_all"))
+
+    # -- views ----------------------------------------------------------------
+    @property
+    def events(self) -> tuple[FaultEvent, ...]:
+        # sorted() is stable: same-instant events keep insertion order.
+        return tuple(sorted(self._events, key=lambda e: e.at_ms))
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def end_ms(self) -> float:
+        return max((e.at_ms for e in self._events), default=0.0)
+
+    def fingerprint(self) -> str:
+        """Content hash of the ordered schedule (for reproducibility logs)."""
+        h = hashlib.sha256()
+        for event in self.events:
+            h.update(repr(event).encode())
+            h.update(b"\n")
+        return h.hexdigest()
+
+    # -- (de)serialization ------------------------------------------------------
+    def to_dicts(self) -> list[dict]:
+        return [e.as_dict() for e in self.events]
+
+    @classmethod
+    def from_dicts(cls, dicts: Iterable[dict]) -> "FaultSchedule":
+        return cls(FaultEvent.from_dict(d) for d in dicts)

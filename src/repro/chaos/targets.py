@@ -1,0 +1,339 @@
+"""Fault-surface adapters: one interface over both stacks.
+
+A chaos target wraps a running deployment (HopsFS/NDB or CephFS) and
+exposes the primitives the :class:`~repro.chaos.injector.FaultInjector`
+needs — crash/recover a node, take out a whole AZ, partition AZ groups,
+degrade links — plus the hooks scenarios use (ready, client factory,
+large-file seeding so the block layer is actually exercised).
+
+Everything that touches multiple nodes iterates in sorted address order
+so fault execution is deterministic regardless of dict/set history.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional
+
+from ..cephfs import CephConfig, build_cephfs
+from ..errors import ReproError
+from ..experiments.setups import SETUPS, SetupSpec
+from ..hopsfs import SMALL_FILE_MAX_BYTES, HopsFsConfig, build_hopsfs
+from ..ndb import NdbConfig
+from ..types import NodeAddress, NodeKind
+from ..workloads.namespace import install_cephfs, install_hopsfs
+from .schedule import FaultEvent, parse_node
+
+__all__ = [
+    "ChaosTarget",
+    "HopsFsTarget",
+    "CephTarget",
+    "build_chaos_target",
+    "setup_slug",
+    "resolve_setup",
+]
+
+
+def setup_slug(name: str) -> str:
+    """CLI-friendly slug for a setup name: ``HopsFS-CL (3,3)`` -> ``hopsfs-cl-3-3``."""
+    return re.sub(r"[^a-z0-9]+", "-", name.lower()).strip("-")
+
+
+_SLUGS = {setup_slug(name): name for name in SETUPS}
+
+
+def resolve_setup(name: str) -> str:
+    """Canonical pretty name for a setup given either that name or its slug."""
+    if name in SETUPS:
+        return name
+    slug = setup_slug(name)
+    if slug in _SLUGS:
+        return _SLUGS[slug]
+    raise ReproError(f"unknown setup {name!r} (try one of: {', '.join(sorted(_SLUGS))})")
+
+
+class ChaosTarget:
+    """Common fault-surface behaviour; subclasses wire in one stack."""
+
+    kind = "abstract"
+
+    def __init__(self, env, network, azs, name: str):
+        self.env = env
+        self.network = network
+        self.azs = tuple(azs)
+        self.name = name
+
+    # -- subclass surface ----------------------------------------------------
+    def managed_addrs(self) -> list[NodeAddress]:
+        raise NotImplementedError
+
+    def crash(self, addr: NodeAddress) -> None:
+        raise NotImplementedError
+
+    def recover(self, addr: NodeAddress):
+        """Generator: bring one crashed daemon back."""
+        raise NotImplementedError
+
+    def is_running(self, addr: NodeAddress) -> bool:
+        raise NotImplementedError
+
+    def on_heal(self) -> None:
+        """Stack-specific epilogue to a partition heal."""
+
+    def ready(self):
+        yield self.env.timeout(0)
+
+    def make_client(self):
+        raise NotImplementedError
+
+    def install(self, namespace) -> int:
+        raise NotImplementedError
+
+    def seed_blocks(self, count: int = 0):
+        """Generator: create block-layer state pre-fault (no-op by default)."""
+        yield self.env.timeout(0)
+        return 0
+
+    def server_node_ids(self) -> list[str]:
+        """Metadata-server node ids, for rolling-restart schedules."""
+        raise NotImplementedError
+
+    # -- event execution -------------------------------------------------------
+    def addrs_in_az(self, az: int) -> list[NodeAddress]:
+        topo = self.network.topology
+        return [a for a in self.managed_addrs() if topo.az_of(a) == az]
+
+    def apply(self, event: FaultEvent):
+        """Generator: execute one fault event; returns a description string."""
+        action = event.action
+        if action == "crash_node":
+            addr = parse_node(event.node)
+            self.crash(addr)
+            yield self.env.timeout(0)
+            return f"crashed {addr}"
+        if action == "recover_node":
+            addr = parse_node(event.node)
+            yield from self.recover(addr)
+            return f"recovered {addr}"
+        if action == "az_outage":
+            crashed = []
+            for addr in self.addrs_in_az(event.az):
+                if self.is_running(addr):
+                    self.crash(addr)
+                    crashed.append(str(addr))
+            yield self.env.timeout(0)
+            return f"az{event.az} down: {','.join(crashed)}"
+        if action == "az_heal":
+            recovered = []
+            for addr in self.addrs_in_az(event.az):
+                if not self.is_running(addr):
+                    yield from self.recover(addr)
+                    recovered.append(str(addr))
+            yield self.env.timeout(0)
+            return f"az{event.az} healed: {','.join(recovered)}"
+        if action == "partition":
+            self.network.partition_azs(*event.groups)
+            yield self.env.timeout(0)
+            a, b = event.groups
+            return f"partitioned az{list(a)} | az{list(b)}"
+        if action == "heal":
+            self.network.heal_partitions()
+            self.on_heal()
+            yield self.env.timeout(0)
+            return "healed partitions"
+        if action == "degrade_link":
+            az_a, az_b = event.az_pair
+            self.network.degrade_link(az_a, az_b, event.extra_ms)
+            yield self.env.timeout(0)
+            return f"degraded az{az_a}-az{az_b} by {event.extra_ms}ms"
+        if action == "restore_links":
+            self.network.restore_links()
+            yield self.env.timeout(0)
+            return "restored links"
+        if action == "recover_all":
+            recovered = []
+            for addr in self.managed_addrs():
+                if not self.is_running(addr):
+                    yield from self.recover(addr)
+                    recovered.append(str(addr))
+            yield self.env.timeout(0)
+            return f"recovered all: {','.join(recovered) or '(none down)'}"
+        raise ReproError(f"unknown fault action {action!r}")
+
+
+class HopsFsTarget(ChaosTarget):
+    """HopsFS / HopsFS-CL deployment as a fault surface."""
+
+    kind = "hopsfs"
+
+    def __init__(self, deployment, name: str = "HopsFS"):
+        super().__init__(deployment.env, deployment.network, deployment.azs, name)
+        self.fs = deployment
+        self._by_addr = {}
+        for addr, dn in deployment.ndb.datanodes.items():
+            self._by_addr[addr] = dn
+        for mgmt in deployment.ndb.mgmt_nodes:
+            self._by_addr[mgmt.addr] = mgmt
+        for nn in deployment.namenodes:
+            self._by_addr[nn.addr] = nn
+        for bdn in deployment.block_datanodes:
+            self._by_addr[bdn.addr] = bdn
+
+    def managed_addrs(self) -> list[NodeAddress]:
+        return sorted(self._by_addr)
+
+    def is_running(self, addr: NodeAddress) -> bool:
+        return self._by_addr[addr].running
+
+    def crash(self, addr: NodeAddress) -> None:
+        node = self._by_addr.get(addr)
+        if node is None:
+            raise ReproError(f"{self.name}: no such node {addr}")
+        if addr.kind is NodeKind.NDB_DATANODE:
+            # Detection comes from the heartbeat ring, as in production.
+            self.fs.ndb.crash_datanode(addr)
+        else:
+            node.shutdown()
+
+    def recover(self, addr: NodeAddress):
+        node = self._by_addr.get(addr)
+        if node is None:
+            raise ReproError(f"{self.name}: no such node {addr}")
+        if addr.kind is NodeKind.NDB_DATANODE:
+            yield from self.fs.ndb.restart_datanode(addr)
+        else:
+            node.restart()
+            yield self.env.timeout(0)
+
+    def on_heal(self) -> None:
+        # Reset arbitration epochs so the next partition is judged afresh.
+        self.fs.ndb.heal()
+
+    def ready(self):
+        yield from self.fs.await_election()
+
+    def make_client(self):
+        return self.fs.client()
+
+    def install(self, namespace) -> int:
+        return install_hopsfs(self.fs, namespace)
+
+    def seed_blocks(self, count: int = 4):
+        """Create large files pre-fault so re-replication has work to do.
+
+        Small files live inline in NDB (Section II-A3); without these the
+        block-layer AZ-coverage invariant would be vacuously green.
+        """
+        if count <= 0 or not self.fs.block_datanodes:
+            yield self.env.timeout(0)
+            return 0
+        client = self.fs.client()
+        payload = b"x" * (SMALL_FILE_MAX_BYTES + 1024)
+        yield from client.mkdirs("/chaos")
+        created = 0
+        for i in range(count):
+            yield from client.create(f"/chaos/big{i}", data=payload)
+            created += 1
+        return created
+
+    def server_node_ids(self) -> list[str]:
+        return [str(nn.addr) for nn in self.fs.namenodes]
+
+
+class CephTarget(ChaosTarget):
+    """CephFS cluster as a fault surface (MDS ranks + OSDs)."""
+
+    kind = "cephfs"
+
+    def __init__(self, cluster, name: str = "CephFS"):
+        super().__init__(cluster.env, cluster.network, cluster.azs, name)
+        self.cluster = cluster
+        self._by_addr = {}
+        for mds in cluster.mds_list:
+            self._by_addr[mds.addr] = mds
+        for osd in cluster.osds:
+            self._by_addr[osd.addr] = osd
+
+    def managed_addrs(self) -> list[NodeAddress]:
+        return sorted(self._by_addr)
+
+    def is_running(self, addr: NodeAddress) -> bool:
+        return self._by_addr[addr].running
+
+    def crash(self, addr: NodeAddress) -> None:
+        node = self._by_addr.get(addr)
+        if node is None:
+            raise ReproError(f"{self.name}: no such node {addr}")
+        node.shutdown()
+
+    def recover(self, addr: NodeAddress):
+        node = self._by_addr.get(addr)
+        if node is None:
+            raise ReproError(f"{self.name}: no such node {addr}")
+        node.restart()
+        yield self.env.timeout(0)
+
+    def make_client(self):
+        return self.cluster.client()
+
+    def install(self, namespace) -> int:
+        return install_cephfs(self.cluster, namespace)
+
+    def server_node_ids(self) -> list[str]:
+        return [str(mds.addr) for mds in self.cluster.mds_list]
+
+
+def build_chaos_target(
+    setup: str,
+    num_servers: int = 3,
+    seed: int = 99,
+    env=None,
+) -> ChaosTarget:
+    """Build a chaos-tuned deployment of any of the nine setups.
+
+    Same layouts as :mod:`repro.experiments.setups`, but with failure
+    detection cranked down (millisecond heartbeats, fast elections and
+    failover detection) so fault scenarios resolve within short simulated
+    horizons, and with a block-storage layer attached to HopsFS setups so
+    AZ-aware re-replication is exercised.
+    """
+    setup = resolve_setup(setup)
+    spec = SETUPS[setup]
+    if spec.kind == "hopsfs":
+        deployment = build_hopsfs(
+            num_namenodes=num_servers,
+            azs=spec.azs,
+            az_aware=spec.az_aware,
+            num_block_datanodes=2 * len(spec.azs),
+            env=env,
+            ndb_config=NdbConfig(
+                num_datanodes=6,
+                replication=spec.replication,
+                az_aware=spec.az_aware,
+                heartbeat_interval_ms=10.0,
+                deadlock_timeout_ms=100.0,
+                inactive_timeout_ms=120.0,
+            ),
+            hopsfs_config=HopsFsConfig(
+                election_period_ms=50.0,
+                op_cost_read_ms=0.02,
+                op_cost_mutation_ms=0.04,
+                dn_heartbeat_interval_ms=10.0,
+            ),
+            heartbeats=True,
+            seed=seed,
+        )
+        return HopsFsTarget(deployment, name=spec.name)
+    cluster = build_cephfs(
+        num_mds=num_servers,
+        azs=spec.azs,
+        config=CephConfig(
+            osd_replication=spec.replication,
+            dir_pinning=spec.dir_pinning,
+            kclient_cache=spec.kclient_cache,
+            mds_failover_detect_ms=20.0,
+        ),
+        env=env,
+        seed=seed,
+    )
+    return CephTarget(cluster, name=spec.name)

@@ -7,6 +7,8 @@ Usage:
     python -m repro point "HopsFS-CL (3,3)" --servers 24
     python -m repro point "HopsFS-CL (3,3)" --trace out.json   # Perfetto trace
     python -m repro report               # per-phase latency breakdown
+    python -m repro chaos list           # fault-injection scenarios
+    python -m repro chaos az-outage-under-load --setup hopsfs-cl-3-3
     python -m repro list                 # available targets and setups
 
 Scale knobs are the same as the benchmark suite's: REPRO_BENCH_FULL=1 for
@@ -158,6 +160,51 @@ def _cmd_perf(args) -> int:
     return 0
 
 
+def _cmd_chaos(args) -> int:
+    # Imported lazily: the chaos layer pulls in both full stacks.
+    from .chaos import SCENARIOS, resolve_setup, run_scenario, setup_slug
+    from .errors import ReproError
+
+    if args.scenario == "list":
+        print("scenarios:")
+        for scenario in SCENARIOS.values():
+            print(f"  {scenario.name:28s} {scenario.description}")
+        print("setups (pretty name or slug):")
+        for name in SETUPS:
+            print(f"  {setup_slug(name):20s} {name}")
+        return 0
+    if args.scenario not in SCENARIOS:
+        print(
+            f"unknown scenario {args.scenario!r}; see `python -m repro chaos list`",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        setup = resolve_setup(args.setup)
+    except ReproError as exc:
+        print(f"{exc}; see `python -m repro chaos list`", file=sys.stderr)
+        return 2
+    obs = None
+    if args.trace:
+        from .obs import ObsContext
+
+        obs = ObsContext()
+    result = run_scenario(
+        args.scenario, setup=setup, num_servers=args.servers, seed=args.seed, obs=obs
+    )
+    print(result.render())
+    if args.json:
+        import json
+
+        with open(args.json, "w") as fh:
+            json.dump(result.to_json(), fh, indent=2)
+        print(f"\nwrote {args.json}")
+    if obs is not None:
+        faults = [s for s in obs.tracer.spans if s.name == "chaos.fault"]
+        print(f"traced: {len(obs.tracer.spans)} spans ({len(faults)} chaos.fault)")
+    return 0 if result.all_green else 1
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro", description=__doc__,
@@ -194,6 +241,22 @@ def main(argv=None) -> int:
                       help="existing BENCH_kernel.json whose pre_pr_baseline to carry over")
     perf.set_defaults(func=_cmd_perf)
 
+    chaos = sub.add_parser(
+        "chaos", help="run a named fault-injection scenario ('list' to enumerate)"
+    )
+    chaos.add_argument("scenario", help="scenario name, or 'list'")
+    chaos.add_argument("--setup", default="hopsfs-cl-3-3",
+                       help="setup slug or pretty name (default hopsfs-cl-3-3)")
+    chaos.add_argument("--servers", type=int, default=3,
+                       help="metadata servers (default 3)")
+    chaos.add_argument("--seed", type=int, default=99)
+    chaos.add_argument("--json", default=None, metavar="PATH",
+                       help="write the full run result (timeline, trace, "
+                            "verdicts) as JSON")
+    chaos.add_argument("--trace", action="store_true",
+                       help="attach the tracer (dispatch hash must not change)")
+    chaos.set_defaults(func=_cmd_chaos)
+
     sub.add_parser("list", help="list targets and setups")
     for target in _TARGETS + ["all"]:
         sub.add_parser(target, help=f"regenerate {target}")
@@ -209,7 +272,7 @@ def main(argv=None) -> int:
         for name in SETUPS:
             print(f"  {name}")
         return 0
-    if command in ("point", "perf", "report"):
+    if command in ("point", "perf", "report", "chaos"):
         return args.func(args)
     targets = _TARGETS if command == "all" else [command] + [
         t for t in extra if t in _TARGETS

@@ -129,6 +129,31 @@ class BlockManager:
     def record_new_block(self, block_id: int, locations) -> None:
         self.block_locations[block_id] = set(locations)
 
+    def pick_rereplication_target(
+        self, candidates: Sequence[NodeAddress], survivors: Sequence[NodeAddress]
+    ):
+        """Choose where a lost replica is rebuilt.
+
+        Under the AZ-aware policy the replacement must restore AZ coverage:
+        prefer a datanode in an AZ no surviving replica lives in, so an AZ
+        outage followed by re-replication again leaves every AZ with a copy
+        (Section IV-C).  The default policy keeps HDFS behaviour (any node).
+        """
+        if not candidates:
+            return None
+        if self.policy is PlacementPolicy.AZ_AWARE:
+            covered = {
+                self.dns[dn].az for dn in survivors if dn in self.dns
+            }
+            fresh = [
+                dn
+                for dn in candidates
+                if dn in self.dns and self.dns[dn].az not in covered
+            ]
+            if fresh:
+                return self._rng.choice(fresh)
+        return self._rng.choice(list(candidates))
+
     # -- failure handling ----------------------------------------------------
     def check_expired(self, deadline_ms: float) -> list[NodeAddress]:
         """Mark DNs silent for longer than ``deadline_ms`` as dead."""

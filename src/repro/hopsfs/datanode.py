@@ -61,17 +61,32 @@ class BlockStoreDatanode:
         self.disk = Disk(env, disk_bandwidth_bytes_per_ms, name=f"{addr}:disk")
         self.blocks: dict[int, int] = {}  # block_id -> size
         self.running = False
+        self._dispatch_proc = None
+        self._hb_proc = None
 
     def start(self) -> None:
         if self.running:
             return
         self.running = True
-        self.env.process(self._dispatch(), name=f"{self.addr}:dn")
-        self.env.process(self._heartbeat_loop(), name=f"{self.addr}:dn-hb")
+        if self._dispatch_proc is None or not self._dispatch_proc.is_alive:
+            self._dispatch_proc = self.env.process(
+                self._dispatch(), name=f"{self.addr}:dn"
+            )
+        if self._hb_proc is None or not self._hb_proc.is_alive:
+            self._hb_proc = self.env.process(
+                self._heartbeat_loop(), name=f"{self.addr}:dn-hb"
+            )
 
     def shutdown(self) -> None:
         self.running = False
         self.network.set_down(self.addr)
+
+    def restart(self) -> None:
+        """Rejoin after a crash; locally stored blocks survive the outage."""
+        if self.running:
+            return
+        self.network.set_up(self.addr)
+        self.start()
 
     # -- processes -----------------------------------------------------------
     def _dispatch(self):

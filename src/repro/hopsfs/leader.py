@@ -35,13 +35,20 @@ class LeaderElectionService:
         # Latest membership view: [(nn_id, address, az)], sorted by id.
         self.active: list[tuple[int, object, int]] = []
         self.rounds = 0
+        self._loop_proc = None
 
     @property
     def is_leader(self) -> bool:
         return self.leader_id == self.nn.nn_id
 
     def start(self) -> None:
-        self.nn.env.process(self._loop(), name=f"{self.nn.addr}:election")
+        # The loop exits lazily when the NN stops running; a restart must not
+        # race a second election loop against one that has not yet noticed.
+        if self._loop_proc is not None and self._loop_proc.is_alive:
+            return
+        self._loop_proc = self.nn.env.process(
+            self._loop(), name=f"{self.nn.addr}:election"
+        )
 
     def _loop(self):
         env = self.nn.env

@@ -95,20 +95,39 @@ class Namenode:
         self.ops_served = 0
         self.ops_failed = 0
         self._safemode_forced = False
+        self._election_enabled = False
+        self._dispatch_proc = None
+        self._monitor_proc = None
 
     # ------------------------------------------------------------------ life
     def start(self, election: bool = True) -> None:
         if self.running:
             return
         self.running = True
-        self.env.process(self._dispatch(), name=f"{self.addr}:nn")
+        # The dispatch loop runs forever (it drops mail while down), so a
+        # restart after a crash must not spawn a second mailbox consumer.
+        if self._dispatch_proc is None or not self._dispatch_proc.is_alive:
+            self._dispatch_proc = self.env.process(
+                self._dispatch(), name=f"{self.addr}:nn"
+            )
         if election:
+            self._election_enabled = True
             self.election.start()
-            self.env.process(self._dn_monitor(), name=f"{self.addr}:dn-monitor")
+            if self._monitor_proc is None or not self._monitor_proc.is_alive:
+                self._monitor_proc = self.env.process(
+                    self._dn_monitor(), name=f"{self.addr}:dn-monitor"
+                )
 
     def shutdown(self) -> None:
         self.running = False
         self.network.set_down(self.addr)
+
+    def restart(self) -> None:
+        """Bring a crashed namenode back (stateless: nothing to recover)."""
+        if self.running:
+            return
+        self.network.set_up(self.addr)
+        self.start(election=self._election_enabled)
 
     @property
     def is_leader(self) -> bool:
@@ -247,7 +266,9 @@ class Namenode:
             if not candidates:
                 continue
             source = sorted(survivors)[0]
-            target = self.rng.choice(candidates)
+            target = self.block_manager.pick_rereplication_target(candidates, survivors)
+            if target is None:
+                continue
             try:
                 yield self.network.call(
                     self.addr,

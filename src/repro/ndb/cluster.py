@@ -137,6 +137,9 @@ class NdbCluster:
     def active_transactions(self) -> int:
         return len(self._txn_tc)
 
+    def registered_txids(self) -> tuple[int, ...]:
+        return tuple(sorted(self._txn_tc))
+
     # ---------------------------------------------------------------- preload
     def preload(self, table_name: str, rows: Iterable[tuple[Hashable, Hashable, object]]) -> int:
         """Bulk-load committed rows, bypassing the commit protocol.
@@ -218,6 +221,7 @@ class NdbCluster:
         dn.txns.clear()
         dn.last_heartbeat_from.clear()
         self.env.process(dn._dispatch_loop(), name=f"{addr}:dispatch")
+        self.env.process(dn._inactivity_reaper(), name=f"{addr}:txn-reaper")
         self.env.process(self._checkpoint_loop(dn), name=f"{addr}:gcp")
         if self._heartbeats_started:
             self.env.process(self.heartbeats._sender(dn), name=f"{addr}:hb-send")
@@ -299,6 +303,26 @@ class NdbCluster:
                 dn.shutdown(reason)
             if self.partition_map.is_up(addr):
                 self.partition_map.mark_down(addr)
+        # The surviving component runs its node-failure handling for every
+        # departed node: fail pending chain operations through them and roll
+        # back transactions they coordinated.  This cannot ride on
+        # on_node_failed — the departed nodes are already marked down, so
+        # its is_up() idempotence guard would skip the take-over work.
+        survivors = [
+            dn
+            for a, dn in sorted(self.datanodes.items())
+            if dn.running and a not in addrs
+        ]
+        if not survivors:
+            return
+        for addr in sorted(addrs):
+            for dn in survivors:
+                dn.on_peer_failed(addr)
+        orphaned = sorted(txid for txid, tc in self._txn_tc.items() if tc in addrs)
+        for txid in orphaned:
+            for dn in survivors:
+                dn.abort_orphaned(txid)
+            self.unregister_txn(txid)
 
     def heal(self) -> None:
         """Heal partitions and reset arbitration epochs (not node restarts)."""

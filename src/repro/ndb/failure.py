@@ -102,16 +102,27 @@ class HeartbeatProtocol:
     def _suspect(self, detector, suspect: NodeAddress) -> None:
         if suspect in self._handling or not self.cluster.partition_map.is_up(suspect):
             return
-        self._handling.add(suspect)
-        try:
-            if not self.network.is_up(suspect):
-                # Crash failure: run the node-failure protocol.
+        if not self.network.is_up(suspect):
+            # Crash failure: run the node-failure protocol (synchronous).
+            self._handling.add(suspect)
+            try:
                 self.cluster.on_node_failed(suspect)
-                return
-            # Suspect is alive but unreachable: network partition.
-            self.env.process(
-                self._partition_protocol(detector), name=f"{detector.addr}:arbitration"
-            )
+            finally:
+                self._handling.discard(suspect)
+            return
+        # Suspect is alive but unreachable: network partition.  The suspect
+        # stays in ``_handling`` for the whole arbitration round trip so the
+        # checker (which keeps missing heartbeats every interval) does not
+        # pile up duplicate protocols for the same suspicion.
+        self._handling.add(suspect)
+        self.env.process(
+            self._guarded_partition_protocol(detector, suspect),
+            name=f"{detector.addr}:arbitration",
+        )
+
+    def _guarded_partition_protocol(self, detector, suspect: NodeAddress):
+        try:
+            yield from self._partition_protocol(detector)
         finally:
             self._handling.discard(suspect)
 

@@ -138,6 +138,15 @@ class LockTable:
     def active_rows(self) -> int:
         return sum(1 for row in self._rows.values() if not row.idle)
 
+    def active_row_txids(self) -> dict[Hashable, set[int]]:
+        """Per non-idle row: the txids holding or waiting on it."""
+        return {
+            key: set(row.holders)
+            | {req.txid for req in row.queue if not req.abandoned}
+            for key, row in self._rows.items()
+            if not row.idle
+        }
+
     # -- internals --------------------------------------------------------------
     @staticmethod
     def _covers(held: LockMode, wanted: LockMode) -> bool:

@@ -34,16 +34,26 @@ class ManagementNode:
         self.arbitration_epoch = 0
         self.grants = 0
         self.denials = 0
+        self._loop_proc = None
 
     def start(self) -> None:
         if self.running:
             return
         self.running = True
-        self.env.process(self._loop(), name=f"{self.addr}:mgmd")
+        if self._loop_proc is None or not self._loop_proc.is_alive:
+            self._loop_proc = self.env.process(self._loop(), name=f"{self.addr}:mgmd")
 
     def shutdown(self) -> None:
         self.running = False
         self.network.set_down(self.addr)
+
+    def restart(self) -> None:
+        """Bring the mgmd back; arbitration state restarts at a fresh epoch."""
+        if self.running:
+            return
+        self.reset_arbitration()
+        self.network.set_up(self.addr)
+        self.start()
 
     def reset_arbitration(self) -> None:
         """Called when partitions heal; the next partition is a new epoch."""

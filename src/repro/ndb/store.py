@@ -121,6 +121,11 @@ class FragmentStore:
     def prepared_count(self) -> int:
         return len(self._prepared)
 
+    def iter_prepared(self) -> Iterator[tuple[tuple[str, Hashable], int]]:
+        """Each prepared-but-uncommitted version as ``((table, pk), txid)``."""
+        for key, prepared in self._prepared.items():
+            yield key, prepared.txid
+
     def iter_rows(self, table: str) -> Iterator[tuple[Hashable, Any]]:
         for (t, pk), row in self._rows.items():
             if t == table:

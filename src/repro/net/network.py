@@ -71,6 +71,10 @@ class Network:
         # rpc_id -> (completion event, caller address, peer address)
         self._pending: dict[int, tuple[Event, NodeAddress, NodeAddress]] = {}
         self.dropped_messages = 0
+        # Fault injection: extra one-way latency per (src AZ, dst AZ) pair.
+        # ``None`` (the default) keeps the hot path to a single attribute
+        # load + identity check in ``_latency``.
+        self._degraded: Optional[dict[tuple[AzId, AzId], float]] = None
         # Same-instant delivery coalescing (see send()): the deferred heap
         # entry of the most recent delivery, the (time, seq) at which it
         # was scheduled, and whether it already carries a message list.
@@ -125,6 +129,25 @@ class Network:
     def heal_partitions(self) -> None:
         self._partitions.clear()
 
+    # -- link degradation -------------------------------------------------------
+    def degrade_link(self, az_a: AzId, az_b: AzId, extra_ms: float) -> None:
+        """Add ``extra_ms`` of one-way latency between two AZs (both ways).
+
+        Models a degraded inter-AZ link (congestion, a flapping peering
+        session) without cutting connectivity.  Replaces any previous
+        degradation for the pair.
+        """
+        if extra_ms < 0:
+            raise NetworkError(f"negative link degradation {extra_ms!r}")
+        if self._degraded is None:
+            self._degraded = {}
+        self._degraded[(az_a, az_b)] = extra_ms
+        self._degraded[(az_b, az_a)] = extra_ms
+
+    def restore_links(self) -> None:
+        """Remove all link degradations."""
+        self._degraded = None
+
     def reachable(self, src: NodeAddress, dst: NodeAddress) -> bool:
         if src in self._down or dst in self._down:
             return False
@@ -141,6 +164,12 @@ class Network:
     # -- messaging ------------------------------------------------------------
     def _latency(self, src: NodeAddress, dst: NodeAddress) -> float:
         base = self.topology.latency(src, dst)
+        if self._degraded is not None:
+            extra = self._degraded.get(
+                (self.topology.az_of(src), self.topology.az_of(dst))
+            )
+            if extra:
+                base += extra
         if self.jitter_frac and self.rng is not None:
             base *= 1.0 + self.rng.uniform(-self.jitter_frac, self.jitter_frac)
         return base

@@ -1,0 +1,42 @@
+"""The determinism contract: same schedule + seed => bit-identical run."""
+
+from repro.chaos import run_scenario
+
+_KW = dict(setup="hopsfs-cl-3-3", num_servers=2, seed=31, clients=6, load_ms=300.0)
+
+
+def test_same_schedule_and_seed_reproduce_bitwise():
+    a = run_scenario("az-outage-under-load", **_KW)
+    b = run_scenario("az-outage-under-load", **_KW)
+    assert a.dispatch_hash == b.dispatch_hash
+    assert a.events == b.events
+    assert a.fault_trace == b.fault_trace
+    assert a.timeline == b.timeline
+    assert (a.completed, a.failed) == (b.completed, b.failed)
+
+
+def test_different_seed_diverges():
+    a = run_scenario("az-outage-under-load", **_KW)
+    c = run_scenario("az-outage-under-load", **dict(_KW, seed=32))
+    assert a.dispatch_hash != c.dispatch_hash
+
+
+def test_result_json_is_self_contained():
+    import json
+
+    result = run_scenario("az-outage-under-load", **_KW)
+    doc = result.to_json()
+    assert doc["all_green"] is True
+    assert doc["scenario"] == "az-outage-under-load"
+    assert {e["action"] for e in doc["schedule"]} == {"az_outage", "az_heal"}
+    assert len(doc["fault_trace"]) == len(doc["schedule"])
+    assert doc["dispatch_hash"] == result.dispatch_hash
+    json.dumps(doc)  # plain data, no simulator objects
+
+
+def test_render_mentions_faults_and_verdicts():
+    result = run_scenario("az-outage-under-load", **_KW)
+    text = result.render()
+    assert "az_outage" in text
+    assert "availability timeline" in text
+    assert "[PASS] replica-consistency" in text

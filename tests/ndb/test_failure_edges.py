@@ -1,0 +1,146 @@
+"""Failure-protocol edge cases: arbitration loss, racing suspicions, rejoin.
+
+These exercise the paths of :mod:`repro.ndb.failure` that the happy-path
+crash tests never hit: a partition where *no* side can reach the
+arbitrator, two suspicions racing in one ring, a node recovering while the
+protocol that declared it dead is still settling, and the take-over
+cleanup the surviving component owes transactions of a departed one.
+"""
+
+import pytest
+
+from repro.ndb.schema import LockMode
+from repro.types import NodeAddress, NodeKind
+
+from .conftest import build_harness
+
+
+def _dn(i):
+    return NodeAddress(NodeKind.NDB_DATANODE, i)
+
+
+def _chaos_harness(**kwargs):
+    # 4 datanodes / replication 2 -> groups {ndbd1,ndbd3}, {ndbd2,ndbd4};
+    # ndbd1,2 in az1, ndbd3,4 in az2, management (arbitrator) in az3.
+    return build_harness(
+        heartbeats=True,
+        heartbeat_interval_ms=10.0,
+        deadlock_timeout_ms=100.0,
+        inactive_timeout_ms=120.0,
+        **kwargs,
+    )
+
+
+def test_arbitrator_unreachable_shuts_down_both_components():
+    h = _chaos_harness()
+
+    def scenario():
+        yield h.env.timeout(50)
+        # Cut az1 | az2 *and* both off from the arbitrator's az3: two
+        # viable components, neither able to win arbitration.
+        h.network.partition_azs((1,), (2,))
+        h.network.partition_azs((1, 2), (3,))
+        yield h.env.timeout(400)
+
+    h.run(scenario(), until=10_000)
+    assert all(not dn.running for dn in h.cluster.datanodes.values())
+    reasons = {dn.shutdown_reason for dn in h.cluster.datanodes.values()}
+    assert "lost arbitration" in reasons
+
+
+def test_partition_with_reachable_arbitrator_kills_only_losers():
+    h = _chaos_harness()
+
+    def scenario():
+        yield h.env.timeout(50)
+        h.network.partition_azs((1,), (2, 3))  # az1 loses the arbitrator
+        yield h.env.timeout(400)
+
+    h.run(scenario(), until=10_000)
+    survivors = {dn.addr for dn in h.cluster.datanodes.values() if dn.running}
+    assert survivors == {_dn(3), _dn(4)}  # az2, still with one node per group
+    assert h.cluster.partition_map.cluster_viable()
+
+
+def test_two_simultaneous_crash_suspicions_resolve_cleanly():
+    h = _chaos_harness()
+
+    def scenario():
+        yield h.env.timeout(50)
+        # One member of each group at the same instant: two failure
+        # protocols race through the same ring without deadlocking it.
+        h.cluster.crash_datanode(_dn(3))
+        h.cluster.crash_datanode(_dn(4))
+        yield h.env.timeout(400)
+
+    h.run(scenario(), until=10_000)
+    assert not h.cluster.datanodes[_dn(3)].running
+    assert not h.cluster.datanodes[_dn(4)].running
+    assert h.cluster.datanodes[_dn(1)].running
+    assert h.cluster.datanodes[_dn(2)].running
+    assert h.cluster.partition_map.cluster_viable()
+    assert h.cluster.heartbeats._handling == set()
+
+
+def test_suspect_stays_in_handling_for_whole_arbitration_round_trip():
+    h = _chaos_harness()
+    seen_during = []
+
+    def scenario():
+        yield h.env.timeout(50)
+        h.network.partition_azs((1,), (2, 3))
+        # Sample the dedup set while arbitration RPCs are in flight.
+        for _ in range(20):
+            yield h.env.timeout(5)
+            seen_during.append(set(h.cluster.heartbeats._handling))
+        yield h.env.timeout(300)
+
+    h.run(scenario(), until=10_000)
+    assert any(s for s in seen_during)  # suspicion held during the protocol
+    assert h.cluster.heartbeats._handling == set()  # and released after
+
+
+def test_node_recovering_mid_protocol_is_not_double_declared():
+    h = _chaos_harness()
+
+    def scenario():
+        yield h.env.timeout(50)
+        h.cluster.crash_datanode(_dn(3))
+        yield h.env.timeout(60)  # heartbeat detection declares it failed
+        assert not h.cluster.partition_map.is_up(_dn(3))
+        yield from h.cluster.restart_datanode(_dn(3))
+        # Stale suspicion right after rejoin must not knock it back out:
+        # the checker watches from re-observation, not from the outage.
+        yield h.env.timeout(300)
+
+    h.run(scenario(), until=10_000)
+    dn = h.cluster.datanodes[_dn(3)]
+    assert dn.running
+    assert h.cluster.partition_map.is_up(_dn(3))
+    assert h.cluster.heartbeats._handling == set()
+
+
+def test_component_shutdown_rolls_back_orphans_on_survivors():
+    """The surviving component aborts transactions of the departed one.
+
+    Regression test: shutdown_component marks the losers down, which used
+    to make the survivors' on_node_failed a no-op (is_up guard) — leaking
+    the losers' coordinated transactions as prepared rows + locks forever.
+    """
+    h = _chaos_harness()
+    tc = _dn(2)  # will die with the losing component
+    survivor = h.cluster.datanodes[_dn(1)]
+    txid = 900001
+    h.cluster.register_txn(txid, tc)
+    survivor.store.prepare(txid, "t", "k1", "k1", "v")
+    granted = survivor.locks.acquire(txid, ("t", "k1"), LockMode.EXCLUSIVE)
+    assert granted.triggered
+
+    h.cluster.shutdown_component({_dn(2), _dn(4)}, "lost arbitration")
+
+    assert h.cluster.active_transactions == 0
+    assert survivor.store.prepared_count() == 0
+    assert survivor.locks.active_rows == 0
+    # The losers really are down.
+    assert not h.cluster.datanodes[_dn(2)].running
+    assert not h.cluster.datanodes[_dn(4)].running

@@ -108,3 +108,41 @@ def test_traced_run_populates_registry():
     assert snap["counters"]["net.rpc.intra_az"] > 0
     assert snap["counters"]["net.rpc.cross_az"] > 0
     assert snap["counters"]["net.rpc.cross_az_bytes"] > 0
+
+
+# ----------------------------------------------------------- chaos neutrality
+def _chaos_fingerprint(with_obs: bool):
+    from repro.chaos import run_scenario
+
+    obs = ObsContext() if with_obs else None
+    result = run_scenario(
+        "network-partition",
+        setup="hopsfs-cl-3-3",
+        num_servers=2,
+        seed=17,
+        clients=6,
+        load_ms=300.0,
+        obs=obs,
+    )
+    return result, obs
+
+
+def test_chaos_run_is_schedule_neutral_under_tracing():
+    """Fault injection preserves the obs guarantee: tracing a chaos run
+    (spans around every fault, per-action counters) must not move a single
+    kernel dispatch — same (time, priority, seq) hash traced or untraced."""
+    base, _ = _chaos_fingerprint(with_obs=False)
+    traced, obs = _chaos_fingerprint(with_obs=True)
+    assert traced.dispatch_hash == base.dispatch_hash
+    assert traced.events == base.events
+    assert traced.fault_trace == base.fault_trace
+    assert (traced.completed, traced.failed) == (base.completed, base.failed)
+    # ...while actually having traced the faults.
+    fault_spans = [s for s in obs.tracer.spans if s.name == "chaos.fault"]
+    assert {s.tags["action"] for s in fault_spans} == {
+        "partition",
+        "heal",
+        "recover_all",
+    }
+    counters = obs.registry.snapshot()["counters"]
+    assert counters["chaos.fault.partition"] == 1

@@ -77,3 +77,39 @@ def test_report_prints_breakdown_per_setup(capsys):
 
 def test_report_unknown_setup(capsys):
     assert main(["report", "--setups", "NopeFS"]) == 2
+
+
+def test_chaos_list(capsys):
+    assert main(["chaos", "list"]) == 0
+    out = capsys.readouterr().out
+    assert "az-outage-under-load" in out
+    assert "hopsfs-cl-3-3" in out
+    assert "HopsFS-CL (3,3)" in out
+
+
+def test_chaos_unknown_scenario(capsys):
+    assert main(["chaos", "warp-core-breach"]) == 2
+
+
+def test_chaos_unknown_setup(capsys):
+    assert main(["chaos", "az-outage-under-load", "--setup", "nope"]) == 2
+
+
+def test_chaos_runs_and_writes_json(tmp_path, capsys):
+    import json
+
+    out_path = tmp_path / "chaos.json"
+    code = main([
+        "chaos", "az-outage-under-load",
+        "--setup", "hopsfs-cl-3-3", "--servers", "2",
+        "--json", str(out_path), "--trace",
+    ])
+    out = capsys.readouterr().out
+    assert code == 0  # all invariants green
+    assert "availability timeline" in out
+    assert "[PASS]" in out
+    assert "chaos.fault" in out
+    doc = json.loads(out_path.read_text())
+    assert doc["all_green"] is True
+    assert doc["setup"] == "HopsFS-CL (3,3)"
+    assert len(doc["fault_trace"]) == len(doc["schedule"]) == 2
