@@ -21,6 +21,8 @@ __all__ = [
     "no_stuck_state",
     "block_durability",
     "block_az_coverage",
+    "exactly_once",
+    "deadline_compliance",
     "ceph_namespace_integrity",
     "ceph_subtrees_served",
     "verify_hopsfs",
@@ -171,6 +173,51 @@ def block_az_coverage(fs, replication: int = 3) -> InvariantVerdict:
     return InvariantVerdict("block-az-coverage", not thin, "; ".join(thin[:5]))
 
 
+def exactly_once(fs) -> InvariantVerdict:
+    """No retried mutation was ever applied twice (robust mode).
+
+    Every NN appends ``(retry_id, op)`` to the deployment's shared
+    mutation ledger when it *executes* (not replays) a retried mutation;
+    a retry id appearing twice means the RetryCache failed and a retry
+    re-ran a committed mutation.  Vacuously green when the robust request
+    path is off (the ledger stays empty).
+    """
+    ledger = getattr(fs, "mutation_ledger", None) or []
+    seen: dict = {}
+    duplicates = []
+    for retry_id, op in ledger:
+        if retry_id in seen:
+            duplicates.append(f"{retry_id} applied twice ({seen[retry_id]}, {op})")
+        else:
+            seen[retry_id] = op
+    detail = "; ".join(duplicates[:5]) if duplicates else f"{len(ledger)} mutations audited"
+    return InvariantVerdict("exactly-once", not duplicates, detail)
+
+
+def deadline_compliance(target) -> InvariantVerdict:
+    """No op outlived its deadline by more than one hop (robust mode).
+
+    Robust clients record every op that finished later than
+    ``deadline + op_timeout_ms`` (one RPC timeout is the allowed slack:
+    the last armed timer fires at most one timeout after the deadline).
+    Vacuously green for targets whose clients never opted in.
+    """
+    overruns = []
+    audited = 0
+    for client in getattr(target, "clients", []):
+        recorded = getattr(client, "deadline_overruns", None)
+        if recorded is None:
+            continue
+        audited += 1
+        for op, expires_ms, finished_ms in recorded:
+            overruns.append(
+                f"{client.addr}: {op} finished {finished_ms - expires_ms:.1f}ms "
+                f"past its deadline"
+            )
+    detail = "; ".join(overruns[:5]) if overruns else f"{audited} clients audited"
+    return InvariantVerdict("deadline-compliance", not overruns, detail)
+
+
 # ------------------------------------------------------------------- CephFS
 def ceph_namespace_integrity(cluster) -> InvariantVerdict:
     """Every inode on a running MDS has a reachable parent directory."""
@@ -213,6 +260,7 @@ def verify_hopsfs(fs) -> list[InvariantVerdict]:
         no_stuck_state(fs),
         block_durability(fs),
         block_az_coverage(fs),
+        exactly_once(fs),
     ]
 
 
@@ -226,7 +274,7 @@ def verify_cephfs(cluster) -> list[InvariantVerdict]:
 def verify_target(target) -> list[InvariantVerdict]:
     """Run the invariant catalogue matching a chaos target's stack."""
     if target.kind == "hopsfs":
-        return verify_hopsfs(target.fs)
+        return verify_hopsfs(target.fs) + [deadline_compliance(target)]
     if target.kind == "cephfs":
-        return verify_cephfs(target.cluster)
+        return verify_cephfs(target.cluster) + [deadline_compliance(target)]
     raise ValueError(f"unknown chaos target kind {target.kind!r}")

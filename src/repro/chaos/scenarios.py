@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from ..errors import ReproError
+from ..hopsfs.robust import RobustConfig
 from ..workloads.driver import ClosedLoopDriver
 from ..workloads.namespace import generate_namespace
 from ..workloads.spotify import SpotifyWorkload
@@ -41,6 +42,10 @@ class Scenario:
     clients: int = 12
     bucket_ms: float = 20.0
     seed_large_files: int = 3  # HopsFS: pre-fault block-layer payloads
+    # Gray-failure scenarios opt the HopsFS request path into timeouts,
+    # deadlines, hedging, the retry cache, and admission control; ``None``
+    # keeps the legacy fail-stop path (CephFS targets always ignore it).
+    robust: Optional[RobustConfig] = None
 
 
 def _az_outage_schedule(target: ChaosTarget) -> FaultSchedule:
@@ -83,6 +88,36 @@ def _degraded_link_schedule(target: ChaosTarget) -> FaultSchedule:
     )
 
 
+def _gray_degraded_link_schedule(target: ChaosTarget) -> FaultSchedule:
+    """A link so slow it looks dead to a bounded RPC, yet never drops."""
+    if len(target.azs) < 2:
+        raise ReproError(f"{target.name} spans one AZ; no inter-AZ link to degrade")
+    return (
+        FaultSchedule()
+        .degrade_link(60.0, target.azs[0], target.azs[-1], extra_ms=50.0)
+        .restore_links(260.0)
+    )
+
+
+def _slow_az_schedule(target: ChaosTarget) -> FaultSchedule:
+    """Every link touching one AZ degrades: the AZ is up but sluggish."""
+    if len(target.azs) < 2:
+        raise ReproError(f"{target.name} spans one AZ; no inter-AZ links to slow")
+    slow = target.azs[-1]
+    schedule = FaultSchedule()
+    for az in target.azs:
+        if az != slow:
+            schedule.degrade_link(60.0, az, slow, extra_ms=25.0)
+    schedule.restore_links(260.0)
+    return schedule
+
+
+def _overload_burst_schedule(target: ChaosTarget) -> FaultSchedule:
+    """Crash one metadata server while a client burst saturates the rest."""
+    victim = target.server_node_ids()[0]
+    return FaultSchedule().crash_node(60.0, victim).recover_node(200.0, victim)
+
+
 SCENARIOS: dict[str, Scenario] = {
     s.name: s
     for s in (
@@ -108,6 +143,31 @@ SCENARIOS: dict[str, Scenario] = {
             "add 5ms latency on one inter-AZ path between t=60ms and t=260ms",
             _degraded_link_schedule,
             drain_ms=200.0,
+        ),
+        Scenario(
+            "gray-degraded-link",
+            "one inter-AZ path gains 50ms (slower than the RPC timeout) "
+            "between t=60ms and t=260ms; robust clients time out and route around",
+            _gray_degraded_link_schedule,
+            drain_ms=300.0,
+            robust=RobustConfig(),
+        ),
+        Scenario(
+            "slow-az",
+            "every link into one AZ gains 25ms between t=60ms and t=260ms; "
+            "hedged reads and breakers keep latency near baseline",
+            _slow_az_schedule,
+            drain_ms=300.0,
+            robust=RobustConfig(),
+        ),
+        Scenario(
+            "overload-burst",
+            "a 96-client burst while one metadata server is down; admission "
+            "control sheds, retried mutations replay exactly once",
+            _overload_burst_schedule,
+            clients=96,
+            drain_ms=300.0,
+            robust=RobustConfig(nn_max_inflight=24),
         ),
     )
 }
@@ -209,7 +269,9 @@ def run_scenario(
     n_clients = clients if clients is not None else scenario.clients
     run_ms = load_ms if load_ms is not None else scenario.load_ms
 
-    target = build_chaos_target(setup, num_servers=num_servers, seed=seed)
+    target = build_chaos_target(
+        setup, num_servers=num_servers, seed=seed, robust=scenario.robust
+    )
     env = target.env
     env.trace = []  # record every dispatched (when, priority, seq)
     if obs is not None:

@@ -18,7 +18,7 @@ from typing import Optional
 from ..cephfs import CephConfig, build_cephfs
 from ..errors import ReproError
 from ..experiments.setups import SETUPS, SetupSpec
-from ..hopsfs import SMALL_FILE_MAX_BYTES, HopsFsConfig, build_hopsfs
+from ..hopsfs import SMALL_FILE_MAX_BYTES, HopsFsConfig, RobustConfig, build_hopsfs
 from ..ndb import NdbConfig
 from ..types import NodeAddress, NodeKind
 from ..workloads.namespace import install_cephfs, install_hopsfs
@@ -62,6 +62,9 @@ class ChaosTarget:
         self.network = network
         self.azs = tuple(azs)
         self.name = name
+        # Every client handed out via make_client(); the deadline-compliance
+        # invariant audits their recorded overruns after the run.
+        self.clients: list = []
 
     # -- subclass surface ----------------------------------------------------
     def managed_addrs(self) -> list[NodeAddress]:
@@ -213,7 +216,9 @@ class HopsFsTarget(ChaosTarget):
         yield from self.fs.await_election()
 
     def make_client(self):
-        return self.fs.client()
+        client = self.fs.client()
+        self.clients.append(client)
+        return client
 
     def install(self, namespace) -> int:
         return install_hopsfs(self.fs, namespace)
@@ -227,7 +232,7 @@ class HopsFsTarget(ChaosTarget):
         if count <= 0 or not self.fs.block_datanodes:
             yield self.env.timeout(0)
             return 0
-        client = self.fs.client()
+        client = self.make_client()
         payload = b"x" * (SMALL_FILE_MAX_BYTES + 1024)
         yield from client.mkdirs("/chaos")
         created = 0
@@ -274,7 +279,9 @@ class CephTarget(ChaosTarget):
         yield self.env.timeout(0)
 
     def make_client(self):
-        return self.cluster.client()
+        client = self.cluster.client()
+        self.clients.append(client)
+        return client
 
     def install(self, namespace) -> int:
         return install_cephfs(self.cluster, namespace)
@@ -288,6 +295,7 @@ def build_chaos_target(
     num_servers: int = 3,
     seed: int = 99,
     env=None,
+    robust: "RobustConfig | None" = None,
 ) -> ChaosTarget:
     """Build a chaos-tuned deployment of any of the nine setups.
 
@@ -296,6 +304,10 @@ def build_chaos_target(
     failover detection) so fault scenarios resolve within short simulated
     horizons, and with a block-storage layer attached to HopsFS setups so
     AZ-aware re-replication is exercised.
+
+    ``robust`` opts the HopsFS request path into gray-failure hardening
+    (timeouts, deadlines, hedging, retry cache, admission control); CephFS
+    targets ignore it.
     """
     setup = resolve_setup(setup)
     spec = SETUPS[setup]
@@ -319,6 +331,7 @@ def build_chaos_target(
                 op_cost_read_ms=0.02,
                 op_cost_mutation_ms=0.04,
                 dn_heartbeat_interval_ms=10.0,
+                robust=robust,
             ),
             heartbeats=True,
             seed=seed,

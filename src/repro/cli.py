@@ -165,6 +165,12 @@ def _cmd_chaos(args) -> int:
     from .chaos import SCENARIOS, resolve_setup, run_scenario, setup_slug
     from .errors import ReproError
 
+    # Positional and --scenario flag forms are both accepted.
+    if args.scenario is None:
+        args.scenario = args.scenario_flag
+    if args.scenario is None:
+        print("no scenario given; see `python -m repro chaos list`", file=sys.stderr)
+        return 2
     if args.scenario == "list":
         print("scenarios:")
         for scenario in SCENARIOS.values():
@@ -244,7 +250,10 @@ def main(argv=None) -> int:
     chaos = sub.add_parser(
         "chaos", help="run a named fault-injection scenario ('list' to enumerate)"
     )
-    chaos.add_argument("scenario", help="scenario name, or 'list'")
+    chaos.add_argument("scenario", nargs="?", default=None,
+                       help="scenario name, or 'list'")
+    chaos.add_argument("--scenario", dest="scenario_flag", default=None,
+                       metavar="NAME", help="scenario name (flag form)")
     chaos.add_argument("--setup", default="hopsfs-cl-3-3",
                        help="setup slug or pretty name (default hopsfs-cl-3-3)")
     chaos.add_argument("--servers", type=int, default=3,

@@ -7,6 +7,7 @@ __all__ = [
     "ConfigError",
     "NetworkError",
     "HostUnreachableError",
+    "RpcTimeoutError",
     "NdbError",
     "TransactionAbortedError",
     "LockTimeoutError",
@@ -23,6 +24,8 @@ __all__ = [
     "SafeModeError",
     "NoNamenodeError",
     "PlacementError",
+    "DeadlineExceededError",
+    "ServerBusyError",
 ]
 
 
@@ -41,6 +44,14 @@ class NetworkError(ReproError):
 
 class HostUnreachableError(NetworkError):
     """Destination host is down or partitioned away from the sender."""
+
+
+class RpcTimeoutError(NetworkError):
+    """An RPC did not complete within its ``timeout_ms`` budget.
+
+    The slow peer may still be alive (gray failure): a reply arriving
+    after the timeout is discarded deterministically by the network.
+    """
 
 
 # --- NDB (metadata storage layer) -------------------------------------------
@@ -116,3 +127,11 @@ class NoNamenodeError(FsError):
 
 class PlacementError(FsError):
     """Block placement policy could not satisfy its constraints."""
+
+
+class DeadlineExceededError(FsError):
+    """The per-op deadline expired; a hop refused to start doomed work."""
+
+
+class ServerBusyError(FsError):
+    """Namenode admission control shed the request; retry after backoff."""

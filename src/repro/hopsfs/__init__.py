@@ -26,6 +26,7 @@ from .metadata import (
 )
 from .namenode import Namenode
 from .ops import FileContent, FsContext
+from .robust import CircuitBreaker, Deadline, RetryCache, RetryPolicy, RobustConfig
 
 __all__ = [
     "BlockManager",
@@ -49,4 +50,9 @@ __all__ = [
     "Namenode",
     "FileContent",
     "FsContext",
+    "CircuitBreaker",
+    "Deadline",
+    "RetryCache",
+    "RetryPolicy",
+    "RobustConfig",
 ]

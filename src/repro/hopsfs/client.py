@@ -5,18 +5,36 @@ Clients pick one metadata server and stick with it until it fails
 the leader-maintained membership list for servers sharing its
 ``locationDomainId`` and falls back to a random live server (Section
 IV-B3, ``locationDomainId`` 0 disables the affinity).
+
+With :class:`~repro.hopsfs.robust.RobustConfig` attached the request path
+is hardened against *gray* failures: every RPC carries a timeout and the
+op's absolute deadline, timeouts trigger failover, retries back off with
+deterministic jitter under a retry budget, read-class ops hedge to a
+second NN after a configurable delay, mutations carry ``(client_id,
+op_seq)`` retry ids for exactly-once replay, and a per-NN circuit breaker
+routes around persistently slow servers.  Without it (the default) the
+legacy fail-stop path is bit-identical to earlier releases.
 """
 
 from __future__ import annotations
 
+import itertools
 from typing import Optional
 
-from ..errors import FsError, HostUnreachableError, NoNamenodeError
+from ..errors import (
+    DeadlineExceededError,
+    FsError,
+    HostUnreachableError,
+    NoNamenodeError,
+    RpcTimeoutError,
+    ServerBusyError,
+)
 from ..net.network import Network
 from ..sim import Environment
 from ..types import ANY_AZ, AzId, NodeAddress, OpType
 from .datanode import ReadBlockReq, WriteBlockReq
 from .metadata import BLOCK_SIZE_BYTES, SMALL_FILE_MAX_BYTES
+from .robust import CircuitBreaker, Deadline, RobustConfig
 
 __all__ = ["HopsFsClient"]
 
@@ -34,6 +52,9 @@ class HopsFsClient:
         rng=None,
         request_bytes: int = 256,
         max_failovers: int = 4,
+        robust: Optional[RobustConfig] = None,
+        client_id: Optional[str] = None,
+        retry_rng=None,
     ):
         self.env = env
         self.network = network
@@ -43,8 +64,24 @@ class HopsFsClient:
         self.rng = rng
         self.request_bytes = request_bytes
         self.max_failovers = max_failovers
+        self.robust = robust
+        self.client_id = client_id if client_id is not None else str(addr)
+        # Jitter comes from its own named stream so enabling retries never
+        # perturbs the draws of the selection RNG (determinism contract).
+        self.retry_rng = retry_rng
         self.current_nn: Optional[NodeAddress] = None
         self.failovers = 0
+        self.timeouts = 0
+        self.hedges = 0
+        self.hedge_wins = 0
+        self.busy_rejections = 0
+        self.bootstrap_exhaustions = 0
+        # (op, deadline_expires_ms, finished_ms) for ops that outlived their
+        # deadline by more than the one-hop slack — the chaos deadline
+        # invariant reads this.
+        self.deadline_overruns: list[tuple] = []
+        self._op_seq = itertools.count(1)
+        self._breakers: dict[NodeAddress, CircuitBreaker] = {}
         network.register(addr)
 
     # ------------------------------------------------------- NN selection
@@ -53,25 +90,85 @@ class HopsFsClient:
             return seq[0]
         return self.rng.choice(seq)
 
-    def _pick_namenode(self):
-        """Fetch the active-NN list from any live NN, then apply the policy."""
+    def _count(self, name: str) -> None:
+        obs = self.env.obs
+        if obs is not None:
+            obs.registry.counter(name).inc()
+
+    def _breaker(self, nn: NodeAddress) -> CircuitBreaker:
+        breaker = self._breakers.get(nn)
+        if breaker is None:
+            breaker = CircuitBreaker(
+                self.robust.breaker_threshold, self.robust.breaker_reset_ms
+            )
+            self._breakers[nn] = breaker
+        return breaker
+
+    def _breaker_open(self, nn: NodeAddress) -> bool:
+        breaker = self._breakers.get(nn)
+        return breaker is not None and breaker.is_open(self.env.now)
+
+    def _record_nn_failure(self, nn: NodeAddress) -> None:
+        if self.robust is not None and nn is not None:
+            if self._breaker(nn).record_failure(self.env.now):
+                self._count("client.breaker_trips")
+
+    def _pick_namenode(self, deadline: Optional[Deadline] = None):
+        """Fetch the active-NN list from any live NN, then apply the policy.
+
+        With a robust config, bootstrap calls are themselves bounded by the
+        RPC timeout (a degraded link must not hang server discovery) and
+        NNs behind an open circuit breaker are skipped — unless every
+        breaker is open, in which case the client fails open and tries
+        them all rather than giving up without a single packet.
+        """
+        robust = self.robust
         bootstrap = list(self.namenode_addrs)
         if self.rng is not None:
             self.rng.shuffle(bootstrap)
+        if robust is not None:
+            closed = [nn for nn in bootstrap if not self._breaker_open(nn)]
+            if closed:
+                bootstrap = closed
         active = None
         for nn in bootstrap:
+            timeout_ms = None
+            if robust is not None:
+                timeout_ms = robust.op_timeout_ms
+                if deadline is not None:
+                    remaining = deadline.remaining(self.env.now)
+                    if remaining <= 0:
+                        raise DeadlineExceededError(
+                            "deadline expired during server discovery"
+                        )
+                    timeout_ms = min(timeout_ms, remaining)
             try:
                 active = yield self.network.call(
-                    self.addr, nn, "get_active_nns", size=self.request_bytes
+                    self.addr, nn, "get_active_nns", size=self.request_bytes,
+                    timeout_ms=timeout_ms,
                 )
                 break
             except HostUnreachableError:
                 continue
+            except RpcTimeoutError:
+                self.timeouts += 1
+                self._count("client.timeouts")
+                self._record_nn_failure(nn)
+                continue
         if active is None:
+            # Bootstrap exhausted every candidate: that is a failover event
+            # too — count it so trace/metric breakdowns see these ops.
+            self.failovers += 1
+            self.bootstrap_exhaustions += 1
+            self._count("client.failovers")
             raise NoNamenodeError("no metadata server reachable")
         if not active:
             # Election has not yet converged; fall back to the static list.
             active = [(i, nn, 0) for i, nn in enumerate(bootstrap)]
+        if robust is not None:
+            closed = [a for a in active if not self._breaker_open(a[1])]
+            if closed:
+                active = closed
         if self.location_domain_id != ANY_AZ:
             local = [a for a in active if a[2] == self.location_domain_id]
             if local:
@@ -95,35 +192,198 @@ class HopsFsClient:
                 "client.op", parent=parent, op=op.value,
                 host=str(self.addr), az=self.location_domain_id,
             )
-        failures = 0
+        state = {"failures": 0}
+        try:
+            if self.robust is not None:
+                result = yield from self._robust_op(op, kwargs, span, state)
+            else:
+                result = yield from self._op_body(op, kwargs, span, state)
+            if span is not None:
+                span.tags["ok"] = True
+            return result
+        except (FsError, RpcTimeoutError, HostUnreachableError) as exc:
+            # Terminal failures must be tagged too (NoNamenodeError and
+            # FsError exits previously finished with neither ok nor error,
+            # undercounting failures in trace breakdowns).
+            if span is not None:
+                span.tags["ok"] = False
+                span.tags["error"] = type(exc).__name__
+            raise
+        finally:
+            # Drivers read this into OpResult.retries for per-op breakdowns.
+            self.last_op_failures = state["failures"]
+            if span is not None:
+                obs.tracer.finish(span, retries=state["failures"])
+
+    def _op_body(self, op: OpType, kwargs, span, state):
+        """Legacy fail-stop request path (bit-identical to prior releases)."""
+        obs = self.env.obs
+        while True:
+            if self.current_nn is None:
+                yield from self._pick_namenode()
+            try:
+                result = yield self.network.call(
+                    self.addr,
+                    self.current_nn,
+                    "fs_op",
+                    (op, kwargs),
+                    size=self.request_bytes,
+                    parent_span=span,
+                )
+                return result
+            except HostUnreachableError:
+                # Select a random surviving metadata server and retry.
+                self.current_nn = None
+                self.failovers += 1
+                state["failures"] += 1
+                if obs is not None:
+                    obs.registry.counter("client.failovers").inc()
+                if state["failures"] > self.max_failovers:
+                    raise NoNamenodeError(f"{op}: no metadata server after retries")
+
+    # ------------------------------------------------- robust request path
+    def _robust_op(self, op: OpType, kwargs, span, state):
+        """Deadline-bounded request loop: timeouts fail over, busy backs off."""
+        robust = self.robust
+        env = self.env
+        deadline = Deadline(env.now + robust.deadline_ms)
+        extra = {"deadline_ms": deadline.expires_ms}
+        if op.mutates:
+            # Exactly-once retried mutations: the NN-side RetryCache keys
+            # replays off this id (same id across every retry of this op).
+            extra["retry_id"] = (self.client_id, next(self._op_seq))
+        attempt = 0
+        last_error = None
         try:
             while True:
+                if deadline.expired(env.now):
+                    self._count("client.deadline_exceeded")
+                    raise DeadlineExceededError(
+                        f"{op.value}: client deadline expired"
+                    ) from last_error
                 if self.current_nn is None:
-                    yield from self._pick_namenode()
+                    yield from self._pick_namenode(deadline=deadline)
                 try:
-                    result = yield self.network.call(
-                        self.addr,
-                        self.current_nn,
-                        "fs_op",
-                        (op, kwargs),
-                        size=self.request_bytes,
-                        parent_span=span,
-                    )
-                    if span is not None:
-                        span.tags["ok"] = True
+                    result = yield from self._attempt(op, kwargs, span, deadline, extra)
+                    breaker = self._breakers.get(self.current_nn)
+                    if breaker is not None:
+                        breaker.record_success()
                     return result
-                except HostUnreachableError:
-                    # Select a random surviving metadata server and retry.
+                except RpcTimeoutError as exc:
+                    # Gray failure: the NN may be alive but slow.  Treat the
+                    # timeout as a failover trigger and route elsewhere.
+                    last_error = exc
+                    self.timeouts += 1
+                    self._count("client.timeouts")
+                    self._record_nn_failure(self.current_nn)
+                    self._fail_over(state)
+                except HostUnreachableError as exc:
+                    last_error = exc
+                    self._record_nn_failure(self.current_nn)
+                    self._fail_over(state)
+                except ServerBusyError as exc:
+                    # Shed by admission control: honor it with backoff and
+                    # spread the retry over the other servers.
+                    last_error = exc
+                    self.busy_rejections += 1
+                    self._count("client.busy_rejections")
                     self.current_nn = None
-                    self.failovers += 1
-                    failures += 1
-                    if obs is not None:
-                        obs.registry.counter("client.failovers").inc()
-                    if failures > self.max_failovers:
-                        raise NoNamenodeError(f"{op}: no metadata server after retries")
+                attempt += 1
+                if attempt > robust.retry.max_retries:
+                    raise NoNamenodeError(
+                        f"{op.value}: retry budget exhausted "
+                        f"({robust.retry.max_retries} retries)"
+                    ) from last_error
+                yield from self._backoff(attempt, deadline, last_error)
         finally:
-            if span is not None:
-                obs.tracer.finish(span, retries=failures)
+            overrun = env.now - deadline.expires_ms
+            if overrun > robust.op_timeout_ms:
+                # The deadline invariant's slack is one hop (one RPC
+                # timeout); anything beyond it is a contract violation.
+                self.deadline_overruns.append((op.value, deadline.expires_ms, env.now))
+
+    def _fail_over(self, state) -> None:
+        self.current_nn = None
+        self.failovers += 1
+        state["failures"] += 1
+        self._count("client.failovers")
+
+    def _backoff(self, attempt: int, deadline: Deadline, last_error):
+        delay = self.robust.retry.backoff_ms(attempt, self.retry_rng)
+        if deadline.remaining(self.env.now) <= delay:
+            # Sleeping past the deadline is doomed work; fail fast instead.
+            self._count("client.deadline_exceeded")
+            raise DeadlineExceededError(
+                "deadline would expire during retry backoff"
+            ) from last_error
+        yield self.env.timeout(delay)
+
+    def _rpc_timeout_ms(self, deadline: Deadline) -> float:
+        """Per-call timeout, capped so no RPC outlives the op deadline."""
+        return max(
+            0.001, min(self.robust.op_timeout_ms, deadline.remaining(self.env.now))
+        )
+
+    def _attempt(self, op: OpType, kwargs, span, deadline: Deadline, extra):
+        """One bounded attempt; read-class ops hedge to a second NN."""
+        robust = self.robust
+        env = self.env
+        primary_nn = self.current_nn
+        primary = self.network.call(
+            self.addr, primary_nn, "fs_op", (op, kwargs),
+            size=self.request_bytes, parent_span=span,
+            timeout_ms=self._rpc_timeout_ms(deadline), extra=extra,
+        )
+        if op.mutates or robust.hedge_delay_ms is None:
+            result = yield primary
+            return result
+        # Hedged read: wait the hedge delay; if the primary has not
+        # answered, fire the same request at a different NN and take the
+        # first reply.  The loser's reply (or timeout) resolves through the
+        # abandoned event — callback-suppressed and defused, never raised.
+        hedge_timer = env.timeout(robust.hedge_delay_ms)
+        yield env.any_of([primary, hedge_timer])
+        if primary.triggered:
+            if primary.ok:
+                return primary.value
+            raise primary.value
+        alt_nn = self._hedge_target(primary_nn)
+        if alt_nn is None:
+            result = yield primary
+            return result
+        self.hedges += 1
+        self._count("client.hedges")
+        hedge = self.network.call(
+            self.addr, alt_nn, "fs_op", (op, kwargs),
+            size=self.request_bytes, parent_span=span,
+            timeout_ms=self._rpc_timeout_ms(deadline), extra=extra,
+        )
+        yield env.any_of([primary, hedge])
+        if primary.triggered and primary.ok:
+            hedge.defuse()
+            return primary.value
+        if hedge.triggered and hedge.ok:
+            primary.defuse()
+            self.hedge_wins += 1
+            self._count("client.hedge_wins")
+            # The hedge answering first is evidence the primary is slow;
+            # ride the faster server from here on.
+            self.current_nn = alt_nn
+            return hedge.value
+        # Both resolved in the same step, both failed: surface the primary's
+        # error (deterministic choice) and defuse the other.
+        hedge.defuse()
+        raise primary.value
+
+    def _hedge_target(self, primary_nn: NodeAddress) -> Optional[NodeAddress]:
+        """A different, breaker-closed NN to hedge to (deterministic pick)."""
+        candidates = [
+            nn for nn in self.namenode_addrs
+            if nn != primary_nn and not self._breaker_open(nn)
+        ]
+        if not candidates:
+            return None
+        return self._choice(candidates)
 
     # Convenience wrappers -----------------------------------------------------
     def mkdir(self, path: str):
@@ -159,11 +419,8 @@ class HopsFsClient:
                 return inode_id
             remaining = len(data)
             while remaining > 0:
-                block = yield from self.op(
-                    OpType.ADD_BLOCK, path=path, client=str(self.addr), obs_parent=span
-                )
                 chunk = min(remaining, BLOCK_SIZE_BYTES)
-                yield from self._write_pipeline(block, chunk, parent_span=span)
+                yield from self._write_block(path, chunk, span)
                 remaining -= chunk
             yield from self.op(
                 OpType.COMPLETE_FILE, path=path, size=len(data),
@@ -174,6 +431,32 @@ class HopsFsClient:
             if span is not None:
                 obs.tracer.finish(span)
 
+    def _write_block(self, path: str, chunk: int, span):
+        """Allocate one block and push it through the DN pipeline.
+
+        A broken pipeline (DN death mid-write) no longer fails the whole
+        multi-block create: the client abandons the broken block, asks the
+        NN for a fresh one (fresh placement excludes nothing, but the dead
+        DN no longer heartbeats, so new placements avoid it) and retries
+        the pipeline once before giving up.
+        """
+        block = yield from self.op(
+            OpType.ADD_BLOCK, path=path, client=str(self.addr), obs_parent=span
+        )
+        try:
+            yield from self._write_pipeline(block, chunk, parent_span=span)
+            return
+        except FsError:
+            self._count("client.pipeline_retries")
+            yield from self.op(
+                OpType.ABANDON_BLOCK, path=path, block_id=block.block_id,
+                client=str(self.addr), obs_parent=span,
+            )
+        block = yield from self.op(
+            OpType.ADD_BLOCK, path=path, client=str(self.addr), obs_parent=span
+        )
+        yield from self._write_pipeline(block, chunk, parent_span=span)
+
     def _write_pipeline(self, block, nbytes: int, parent_span=None):
         req = WriteBlockReq(
             block_id=block.block_id, nbytes=nbytes, pipeline=tuple(block.locations), hop=0
@@ -183,7 +466,7 @@ class HopsFsClient:
                 self.addr, block.locations[0], "write_block", req, size=nbytes,
                 parent_span=parent_span,
             )
-        except HostUnreachableError as exc:
+        except (HostUnreachableError, RpcTimeoutError) as exc:
             raise FsError(f"write pipeline failed: {exc}") from exc
 
     def read(self, path: str):
@@ -247,7 +530,7 @@ class HopsFsClient:
                         parent_span=span,
                     )
                     break
-                except (HostUnreachableError, FsError) as exc:
+                except (HostUnreachableError, RpcTimeoutError, FsError) as exc:
                     last_error = exc
             if nbytes is None:
                 raise FsError(

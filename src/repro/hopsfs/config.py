@@ -3,9 +3,11 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from ..errors import ConfigError
 from ..types import OpType
+from .robust import RobustConfig
 
 __all__ = ["HopsFsConfig"]
 
@@ -38,6 +40,10 @@ class HopsFsConfig:
     # (HDFS-style startup safemode).  Off by default: benchmarks preload
     # their namespace and start hot.
     safemode_on_startup: bool = False
+    # Gray-failure hardening (timeouts, deadlines, hedging, retry cache,
+    # admission control).  None = legacy fail-stop path, which the pinned
+    # golden schedules require; chaos targets opt in.
+    robust: Optional[RobustConfig] = None
 
     def __post_init__(self) -> None:
         if self.nn_cores < 1:

@@ -43,6 +43,9 @@ class HopsFsDeployment:
     az_aware: bool
     ids: IdGenerator
     rng: RngRegistry
+    # One applied-mutation ledger shared by every NN (robust mode writes
+    # it); the chaos exactly-once invariant audits it for duplicate ids.
+    mutation_ledger: list = field(default_factory=list)
     _client_ids: itertools.count = field(default_factory=lambda: itertools.count(1))
     _client_az_cycle: Optional[itertools.cycle] = None
 
@@ -71,6 +74,13 @@ class HopsFsDeployment:
             rng=self.rng.stream(f"client:{index}"),
             request_bytes=self.config.client_request_bytes,
             max_failovers=self.config.client_max_failovers,
+            robust=self.config.robust,
+            client_id=str(addr),
+            retry_rng=(
+                self.rng.stream(f"client:{index}:retry")
+                if self.config.robust is not None
+                else None
+            ),
         )
 
     def leader_namenode(self) -> Optional[Namenode]:
@@ -194,6 +204,12 @@ def build_hopsfs(
             )
         )
 
+    # All NNs append applied retried mutations to one shared ledger so the
+    # exactly-once invariant sees duplicates across failovers.
+    mutation_ledger: list = []
+    for nn in namenodes:
+        nn.mutation_ledger = mutation_ledger
+
     # Install the root directory before anything runs.
     ndb.preload("inodes", [((0, ""), 0, root_row())])
 
@@ -214,4 +230,5 @@ def build_hopsfs(
         az_aware=az_aware,
         ids=ids,
         rng=rng,
+        mutation_ledger=mutation_ledger,
     )

@@ -20,6 +20,7 @@ __all__ = [
     "BlockRow",
     "LeaseRow",
     "LeaderRow",
+    "RetryRow",
     "ROOT_INODE_ID",
     "SMALL_FILE_MAX_BYTES",
     "BLOCK_SIZE_BYTES",
@@ -37,6 +38,7 @@ INODES_TABLE = "inodes"
 BLOCKS_TABLE = "blocks"
 LEASES_TABLE = "leases"
 LEADER_TABLE = "leader"
+RETRY_TABLE = "retry_cache"
 
 
 @dataclass(frozen=True)
@@ -112,6 +114,25 @@ class LeaderRow:
     address: object = None
 
 
+@dataclass(frozen=True)
+class RetryRow:
+    """Recorded result of one retried-mutation id (HDFS RetryCache, but
+    transactional: written in the same NDB transaction as the mutation, so
+    an NN crash after commit cannot lose it).
+
+    pk = ``(client_id, op_seq)``; partition key = ``client_id`` so one
+    client's retry state lives in one partition.
+    """
+
+    client_id: str
+    op_seq: int
+    result: object = None
+
+    @property
+    def pk(self) -> tuple[str, int]:
+        return (self.client_id, self.op_seq)
+
+
 def define_fs_schema(read_backup: bool, fully_replicated_leader: bool = False) -> Schema:
     """Create the HopsFS table set.
 
@@ -125,6 +146,7 @@ def define_fs_schema(read_backup: bool, fully_replicated_leader: bool = False) -
     schema.define(INODES_TABLE, read_backup=read_backup, row_bytes=224)
     schema.define(BLOCKS_TABLE, read_backup=read_backup, row_bytes=160)
     schema.define(LEASES_TABLE, read_backup=read_backup, row_bytes=96)
+    schema.define(RETRY_TABLE, read_backup=read_backup, row_bytes=128)
     schema.define(
         LEADER_TABLE,
         read_backup=read_backup,

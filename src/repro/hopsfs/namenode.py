@@ -12,13 +12,16 @@ from __future__ import annotations
 from typing import Optional
 
 from ..errors import (
+    DeadlineExceededError,
     FsError,
     HostUnreachableError,
     NdbError,
     SafeModeError,
+    ServerBusyError,
     TransactionAbortedError,
 )
 from ..ndb.client import run_transaction
+from ..ndb.schema import LockMode
 from ..net.network import Message, Network
 from ..sim import Environment
 from ..sim.resources import CorePool
@@ -29,10 +32,20 @@ from .config import HopsFsConfig
 from .datanode import CopyBlockReq
 from .dircache import DirCache
 from .leader import LeaderElectionService
-from .metadata import BLOCKS_TABLE, INODES_TABLE, IdGenerator
+from .metadata import BLOCKS_TABLE, INODES_TABLE, RETRY_TABLE, IdGenerator, RetryRow
 from .pathlock import normalize_path, split_path
+from .robust import RetryCache
 
 __all__ = ["Namenode"]
+
+
+class _Replay:
+    """Transaction-body sentinel: a retried mutation's recorded result."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value):
+        self.value = value
 
 
 class Namenode:
@@ -52,6 +65,7 @@ class Namenode:
         OpType.CHMOD: ops.chmod,
         OpType.SET_REPLICATION: ops.set_replication,
         OpType.ADD_BLOCK: ops.add_block,
+        OpType.ABANDON_BLOCK: ops.abandon_block,
         OpType.COMPLETE_FILE: ops.complete_file,
     }
 
@@ -94,6 +108,18 @@ class Namenode:
         )
         self.ops_served = 0
         self.ops_failed = 0
+        self.ops_shed = 0
+        self._inflight = 0
+        # Exactly-once replay state (robust mode only): in-memory LRU fast
+        # path over the durable retry_cache NDB rows.
+        self.retry_cache: Optional[RetryCache] = (
+            RetryCache(config.robust.nn_retry_cache_size)
+            if config.robust is not None
+            else None
+        )
+        # Replaced with one list shared across all NNs by the deployment
+        # builder; the chaos exactly-once invariant audits it.
+        self.mutation_ledger: list = []
         self._safemode_forced = False
         self._election_enabled = False
         self._dispatch_proc = None
@@ -155,7 +181,24 @@ class Namenode:
             if not self.running:
                 continue
             if msg.kind == "fs_op":
-                self.env.process(self._fs_op(msg), name=f"{self.addr}:fs_op")
+                robust = self.config.robust
+                if robust is None:
+                    self.env.process(self._fs_op(msg), name=f"{self.addr}:fs_op")
+                elif self._inflight >= robust.nn_max_inflight:
+                    # Admission control: shed before touching the handler
+                    # pool so an overloaded NN answers fast instead of
+                    # queueing work it cannot finish in time.
+                    self.ops_shed += 1
+                    if self.env.obs is not None:
+                        self.env.obs.registry.counter("nn.shed").inc()
+                    self.network.reply(
+                        msg,
+                        ServerBusyError(f"{self.addr} overloaded; retry with backoff"),
+                        ok=False,
+                    )
+                else:
+                    self._inflight += 1
+                    self.env.process(self._fs_op_guarded(msg), name=f"{self.addr}:fs_op")
             elif msg.kind == "get_active_nns":
                 self.network.reply(msg, list(self.election.active), size=256)
             elif msg.kind == "dn_heartbeat":
@@ -168,6 +211,12 @@ class Namenode:
                 raise FsError(f"{self.addr}: unknown NN message {msg.kind!r}")
 
     # --------------------------------------------------------------- fs ops
+    def _fs_op_guarded(self, msg: Message):
+        try:
+            yield from self._fs_op(msg)
+        finally:
+            self._inflight -= 1
+
     def _fs_op(self, msg: Message):
         op, kwargs = msg.payload
         obs = self.env.obs
@@ -189,6 +238,22 @@ class Namenode:
         yield self.handler_pool.submit(self.config.op_cost(op))
         if not self.running:
             return
+        deadline_ms = msg.extra.get("deadline_ms")
+        if deadline_ms is not None:
+            remaining = deadline_ms - self.env.now
+            obs = self.env.obs
+            if obs is not None:
+                obs.registry.histogram("nn.deadline_remaining_ms").observe(remaining)
+            if remaining <= 0:
+                # The client has stopped waiting; finishing the op would be
+                # doomed work that only adds load while overloaded.
+                self.ops_failed += 1
+                self.network.reply(
+                    msg,
+                    DeadlineExceededError(f"{op.value} deadline expired at {self.addr}"),
+                    ok=False,
+                )
+                return
         fn = self._OPS.get(op)
         if fn is None:
             self.network.reply(msg, FsError(f"unsupported operation {op}"), ok=False)
@@ -199,15 +264,48 @@ class Namenode:
                 msg, SafeModeError(f"{self.addr} is in safemode; {op.value} rejected"), ok=False
             )
             return
+        retry_id = msg.extra.get("retry_id") if self.retry_cache is not None else None
+        if retry_id is not None:
+            hit, cached = self.retry_cache.lookup(tuple(retry_id))
+            if hit:
+                # This NN already applied the mutation; replay the recorded
+                # result without touching NDB.
+                if self.env.obs is not None:
+                    self.env.obs.registry.counter("nn.retry_cache.hit").inc()
+                self.ops_served += 1
+                self._post_commit(op, cached)
+                self.network.reply(msg, cached, size=self.config.client_response_bytes)
+                return
+
         def body(txn):
+            if retry_id is not None:
+                # Phantom-safe exclusive read: a concurrent retry of the
+                # same id serializes here, so exactly one execution wins.
+                prior = yield from txn.read(
+                    RETRY_TABLE,
+                    tuple(retry_id),
+                    partition_key=retry_id[0],
+                    lock=LockMode.EXCLUSIVE,
+                )
+                if prior is not None:
+                    return _Replay(prior.result)
             result = yield from fn(self.ctx, txn, **kwargs)
+            if retry_id is not None:
+                # Same transaction as the mutation: an NN crash after commit
+                # cannot lose the replay record.
+                yield from txn.write(
+                    RETRY_TABLE,
+                    tuple(retry_id),
+                    RetryRow(client_id=retry_id[0], op_seq=retry_id[1], result=result),
+                    partition_key=retry_id[0],
+                )
             return result
 
         try:
             hint_key = self._hint_for(kwargs)
             result = yield from run_transaction(
                 self.api, body, hint_table=INODES_TABLE, hint_key=hint_key,
-                parent_span=span,
+                parent_span=span, deadline=deadline_ms,
             )
         except FsError as exc:
             self.ops_failed += 1
@@ -217,11 +315,32 @@ class Namenode:
             self.ops_failed += 1
             self.network.reply(msg, exc, ok=False)
             return
+        replayed = isinstance(result, _Replay)
+        if replayed:
+            result = result.value
+        if retry_id is not None:
+            if self.env.obs is not None:
+                name = "nn.retry_cache.hit" if replayed else "nn.retry_cache.miss"
+                self.env.obs.registry.counter(name).inc()
+            self.retry_cache.put(tuple(retry_id), result)
+            if not replayed:
+                # One ledger entry per applied (not replayed) mutation; the
+                # chaos exactly-once invariant checks ids never repeat.
+                self.mutation_ledger.append((tuple(retry_id), op.value))
         self.ops_served += 1
-        if op is OpType.ADD_BLOCK:
+        self._post_commit(op, result)
+        self.network.reply(msg, result, size=self.config.client_response_bytes)
+
+    def _post_commit(self, op: OpType, result) -> None:
+        """In-memory bookkeeping a (possibly replayed) result implies.
+
+        A replayed ADD_BLOCK may be served by an NN that never saw the
+        original commit (the client failed over), so the block map is
+        updated on replays too — the operations are idempotent.
+        """
+        if op is OpType.ADD_BLOCK and result is not None:
             self.block_manager.record_new_block(result.block_id, result.locations)
             self.block_manager.block_inode[result.block_id] = result.inode_id
-        self.network.reply(msg, result, size=self.config.client_response_bytes)
 
     def _hint_for(self, kwargs) -> Optional[int]:
         """DAT hint: the target's parent directory id, from the dir cache.

@@ -379,6 +379,36 @@ def add_block(ctx: FsContext, txn: NdbTransaction, path: str, client: str = ""):
     return block
 
 
+def abandon_block(ctx: FsContext, txn: NdbTransaction, path: str, block_id: int, client: str = ""):
+    """Discard an allocated block whose write pipeline failed.
+
+    Removes both sides of the allocation — the block row and the id's slot
+    in the inode's ``block_ids`` — so a later read never chases a block
+    that holds no data.  The client calls this before asking for a fresh
+    block with a new pipeline.
+    """
+    parent, name = yield from resolve_parent(txn, path, ctx.dir_cache)
+    row = yield from _lock_slot(txn, parent.id, name)
+    if row is None:
+        raise FileNotFoundFsError(f"{path} does not exist")
+    if row.is_dir or not row.under_construction:
+        raise FsError(f"{path} is not under construction")
+    lease = yield from txn.read(LEASES_TABLE, row.id, lock=LockMode.SHARED)
+    if lease is None or (client and lease.holder != client):
+        raise LeaseExpiredError(f"no valid lease on {path} for {client!r}")
+    if block_id not in row.block_ids:
+        # Retried abandon after the first attempt committed: nothing to do.
+        return row.id
+    yield from txn.delete(BLOCKS_TABLE, block_id, partition_key=row.id)
+    yield from txn.write(
+        INODES_TABLE,
+        row.pk,
+        row.with_(block_ids=tuple(b for b in row.block_ids if b != block_id)),
+        partition_key=parent.id,
+    )
+    return row.id
+
+
 def complete_file(ctx: FsContext, txn: NdbTransaction, path: str, size: int, client: str = ""):
     """Close a file under construction and release its lease."""
     parent, name = yield from resolve_parent(txn, path, ctx.dir_cache)

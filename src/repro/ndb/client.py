@@ -13,7 +13,12 @@ from __future__ import annotations
 
 from typing import Any, Callable, Hashable, Optional
 
-from ..errors import HostUnreachableError, NdbError, TransactionAbortedError
+from ..errors import (
+    DeadlineExceededError,
+    HostUnreachableError,
+    NdbError,
+    TransactionAbortedError,
+)
 from ..types import AzId, NodeAddress
 from .messages import TcAbortReq, TcCommitReq, TcReadReq, TcScanReq, TcWriteReq
 from .schema import TOMBSTONE, LockMode
@@ -171,12 +176,18 @@ def run_transaction(
     base_backoff_ms: float = 2.0,
     max_backoff_ms: float = 200.0,
     parent_span=None,
+    deadline: Optional[float] = None,
 ):
     """Run ``body(txn)`` (a generator function) with commit and retries.
 
     This is HopsFS's transaction retry mechanism: aborted transactions are
     retried with exponential backoff, which provides backpressure to NDB.
     Non-retryable errors (application errors) abort and propagate.
+
+    ``deadline`` (absolute sim ms) is the enclosing op's budget: expired
+    before an attempt, or an attempt whose backoff would sleep past it,
+    fails fast with :class:`DeadlineExceededError` instead of starting
+    doomed work.
 
     When tracing, each attempt gets its own ``ndb.txn`` span under
     ``parent_span``, tagged with the attempt index, the selected TC and its
@@ -188,6 +199,8 @@ def run_transaction(
     obs = env.obs
     attempt = 0
     while True:
+        if deadline is not None and env.now >= deadline:
+            raise DeadlineExceededError("op deadline expired before NDB attempt")
         txn = api.transaction(hint_table=hint_table, hint_key=hint_key)
         span = None
         if obs is not None:
@@ -213,7 +226,12 @@ def run_transaction(
                 raise
             attempt += 1
             backoff = min(max_backoff_ms, base_backoff_ms * (2 ** (attempt - 1)))
-            yield env.timeout(backoff * (0.5 + rng.random()))
+            delay = backoff * (0.5 + rng.random())
+            if deadline is not None and env.now + delay >= deadline:
+                raise DeadlineExceededError(
+                    "op deadline would expire during NDB retry backoff"
+                ) from exc
+            yield env.timeout(delay)
         except GeneratorExit:
             raise  # closing a simulation generator must not yield again
         except BaseException:

@@ -125,6 +125,12 @@ class NdbDatanode:
         self.disk = Disk(env, config.disk_bandwidth_bytes_per_ms, name=f"{addr}:disk")
 
         self.txns: dict[int, _TcTxn] = {}
+        # Txids the inactivity reaper rolled back.  A later operation on
+        # such a txid must fail (real NDB: "unknown transaction"), not
+        # silently re-create TC state — the reaper already released the
+        # transaction's locks, so resurrecting it would let two
+        # transactions commit against the same exclusively-read rows.
+        self._reaped: dict[int, None] = {}
         self.last_heartbeat_from: dict[NodeAddress, float] = {}
         self._rng = cluster.rng.stream(f"ndbd:{addr}")
 
@@ -237,8 +243,11 @@ class NdbDatanode:
             for txid, txn in list(self.txns.items()):
                 if txn.finished or now - txn.last_active_ms <= timeout:
                     continue
+                self._reaped[txid] = None
                 self._abort_cleanup(txn)
                 self._drop_txn(txid)
+            while len(self._reaped) > 65536:
+                del self._reaped[next(iter(self._reaped))]
 
     def _drop_txn(self, txid: int) -> None:
         txn = self.txns.pop(txid, None)
@@ -246,10 +255,23 @@ class NdbDatanode:
             txn.finished = True
         self.cluster.unregister_txn(txid)
 
+    def _reject_reaped(self, msg: Message, txid: int) -> bool:
+        """Fail an operation on a transaction the reaper rolled back."""
+        if txid not in self._reaped:
+            return False
+        self._reply(
+            msg,
+            TransactionAbortedError(f"txn {txid} aborted by inactivity timeout"),
+            ok=False,
+        )
+        return True
+
     # ------------------------------------------------------------- TC: reads
     def _tc_read(self, msg: Message):
         req: TcReadReq = msg.payload
         yield self.tc_pool.submit(self.costs.tc_step)
+        if self._reject_reaped(msg, req.txid):
+            return
         table = self.cluster.schema.table(req.table)
         pmap = self.cluster.partition_map
         partition = pmap.partition_of(req.partition_key)
@@ -305,6 +327,8 @@ class NdbDatanode:
     def _tc_scan(self, msg: Message):
         req: TcScanReq = msg.payload
         yield self.tc_pool.submit(self.costs.tc_step)
+        if self._reject_reaped(msg, req.txid):
+            return
         table = self.cluster.schema.table(req.table)
         pmap = self.cluster.partition_map
         partition = pmap.partition_of(req.partition_key)
@@ -347,6 +371,8 @@ class NdbDatanode:
     def _tc_write(self, msg: Message):
         req: TcWriteReq = msg.payload
         yield self.tc_pool.submit(self.costs.tc_step)
+        if self._reject_reaped(msg, req.txid):
+            return
         table = self.cluster.schema.table(req.table)
         pmap = self.cluster.partition_map
         partition = pmap.partition_of(req.partition_key)
@@ -483,6 +509,8 @@ class NdbDatanode:
     def _tc_commit(self, msg: Message):
         req: TcCommitReq = msg.payload
         yield self.tc_pool.submit(self.costs.tc_step)
+        if self._reject_reaped(msg, req.txid):
+            return
         txn = self.txns.get(req.txid)
         if txn is not None:
             txn.last_active_ms = self.env.now

@@ -13,7 +13,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Optional
 
-from ..errors import HostUnreachableError, NetworkError
+from ..errors import HostUnreachableError, NetworkError, RpcTimeoutError
 from ..sim import Environment, Event, Store
 from ..types import AzId, NodeAddress
 from .topology import Topology
@@ -71,6 +71,8 @@ class Network:
         # rpc_id -> (completion event, caller address, peer address)
         self._pending: dict[int, tuple[Event, NodeAddress, NodeAddress]] = {}
         self.dropped_messages = 0
+        # Replies that arrived after their RPC already timed out / failed.
+        self.late_replies = 0
         # Fault injection: extra one-way latency per (src AZ, dst AZ) pair.
         # ``None`` (the default) keeps the hot path to a single attribute
         # load + identity check in ``_latency``.
@@ -262,6 +264,8 @@ class Network:
         payload: Any = None,
         size: int = DEFAULT_MESSAGE_BYTES,
         parent_span=None,
+        timeout_ms: Optional[float] = None,
+        extra: Optional[dict] = None,
     ) -> Event:
         """Send a request; the returned event triggers with the reply payload.
 
@@ -269,19 +273,40 @@ class Network:
         unreachable, or with the remote exception if the handler replied
         with ``ok=False``.
 
-        ``parent_span`` links the RPC into an active trace; the request
-        carries the span id in ``Message.extra`` so the remote handler can
-        parent its own spans under this call.
+        ``timeout_ms`` arms a DES timer that fails the call with
+        :class:`RpcTimeoutError` if no reply arrived in time; a reply that
+        shows up later finds the RPC gone from the pending table and is
+        discarded deterministically (counted in ``late_replies``).  The
+        timer always consumes exactly one sequence number at schedule time
+        and fires as a no-op when the call already completed, so traced
+        and untraced runs replay the same schedule.
+
+        ``extra`` entries are copied into ``Message.extra`` (deadlines,
+        retry ids).  ``parent_span`` links the RPC into an active trace;
+        the request carries the span id in ``Message.extra`` so the remote
+        handler can parent its own spans under this call.
         """
         rpc_id = next(self._rpc_ids)
         done = self.env.event()
         self._pending[rpc_id] = (done, src, dst)
         message = Message(src=src, dst=dst, kind=kind, payload=payload, size=size, rpc_id=rpc_id)
+        if extra:
+            message.extra.update(extra)
         obs = self.env.obs
         if obs is not None:
             self._trace_call(obs, message, done, parent_span)
         self.send(message)
+        if timeout_ms is not None:
+            self.env.schedule_after(timeout_ms, self._rpc_timeout, rpc_id)
         return done
+
+    def _rpc_timeout(self, rpc_id: int) -> None:
+        entry = self._pending.pop(rpc_id, None)
+        if entry is None:
+            return  # reply already arrived (timer fires as a no-op)
+        done, _src, peer = entry
+        if not done.triggered:
+            done.fail(RpcTimeoutError(f"rpc to {peer} timed out"))
 
     def _trace_call(self, obs, message: Message, done: Event, parent_span) -> None:
         """Open an ``rpc.<kind>`` span closed when the reply event fires.
@@ -340,7 +365,9 @@ class Network:
     def _complete_rpc(self, reply: Message) -> None:
         entry = self._pending.pop(reply.rpc_id, None)
         if entry is None:
-            return  # caller gave up / already failed
+            # Caller gave up (timeout) / already failed: deterministic discard.
+            self.late_replies += 1
+            return
         done, _src, _peer = entry
         if done.triggered:
             return

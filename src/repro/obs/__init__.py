@@ -106,6 +106,14 @@ def register_deployment_metrics(obs: ObsContext, adapter) -> None:
         reg.gauge("ndb.lock.timeouts",
                   lambda d=deployment: sum(
                       dn.locks.timeouts_fired for dn in d.ndb.datanodes.values()))
+        reg.gauge("nn.ops_shed",
+                  lambda d=deployment: sum(nn.ops_shed for nn in d.namenodes))
+        reg.gauge("nn.retry_cache.entries",
+                  lambda d=deployment: sum(
+                      len(nn.retry_cache) for nn in d.namenodes
+                      if nn.retry_cache is not None))
+        reg.gauge("net.late_replies",
+                  lambda d=deployment: d.network.late_replies)
     cluster = getattr(adapter, "cluster", None)
     if cluster is not None and hasattr(cluster, "mds_list"):  # CephFS
         reg.gauge("mds.ops_served",

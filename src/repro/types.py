@@ -77,6 +77,7 @@ class OpType(str, enum.Enum):
     RENAME = "rename"
     CHMOD = "chmod"
     ADD_BLOCK = "addBlock"
+    ABANDON_BLOCK = "abandonBlock"
     COMPLETE_FILE = "completeFile"
     EXISTS = "exists"
     SET_REPLICATION = "setReplication"
@@ -95,6 +96,7 @@ MUTATING_OPS = frozenset(
         OpType.RENAME,
         OpType.CHMOD,
         OpType.ADD_BLOCK,
+        OpType.ABANDON_BLOCK,
         OpType.COMPLETE_FILE,
         OpType.SET_REPLICATION,
     }

@@ -61,6 +61,7 @@ class ClosedLoopDriver:
                     end_ms=self.env.now,
                     ok=ok,
                     error=error,
+                    retries=getattr(client, "last_op_failures", 0),
                     served_by=getattr(client, "current_nn", None),
                 )
             )
@@ -116,5 +117,8 @@ class OpenLoopDriver:
         except _EXPECTED_ERRORS as exc:
             ok, error = False, type(exc).__name__
         self.collector.record(
-            OpResult(op=op, start_ms=start, end_ms=self.env.now, ok=ok, error=error)
+            OpResult(
+                op=op, start_ms=start, end_ms=self.env.now, ok=ok, error=error,
+                retries=getattr(client, "last_op_failures", 0),
+            )
         )

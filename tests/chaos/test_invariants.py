@@ -40,6 +40,8 @@ def test_catalogue_green_on_healthy_cluster(ready_target):
         "no-stuck-state",
         "block-durability",
         "block-az-coverage",
+        "exactly-once",
+        "deadline-compliance",
     ]
     assert all(v.ok for v in verdicts), [str(v) for v in verdicts]
 

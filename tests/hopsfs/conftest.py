@@ -17,6 +17,7 @@ def make_fs(
     heartbeats=False,
     seed=0,
     election_period_ms=50.0,
+    robust=None,
     **ndb_kwargs,
 ):
     """A small, fast deployment for functional tests."""
@@ -26,6 +27,7 @@ def make_fs(
         # Tiny CPU costs: functional tests care about semantics, not load.
         op_cost_read_ms=0.001,
         op_cost_mutation_ms=0.001,
+        robust=robust,
     )
     ndb_config = NdbConfig(
         num_datanodes=num_ndb_datanodes,

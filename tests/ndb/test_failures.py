@@ -256,3 +256,37 @@ def test_abandoned_transaction_reaped():
     prepared, locks, active = harness.run(scenario())
     assert prepared == 0
     assert locks == 0
+
+
+def test_reaped_transaction_cannot_resurrect():
+    """A slow-but-alive client whose txn the reaper rolled back must see
+    every later operation fail — not silently re-register at the TC.
+
+    Resurrection is a gray-failure double-apply: the reaper released the
+    txn's exclusive locks, so by the time the laggard resumes, another
+    transaction may have read-modify-written the same rows.  Real NDB
+    answers post-reap operations with "unknown transaction".
+    """
+    harness = build_harness(inactive_timeout_ms=50.0)
+    env = harness.env
+
+    def scenario():
+        txn = harness.api.transaction(hint_table="t", hint_key="slow")
+        yield from txn.write("t", "slow", 1)
+        yield env.timeout(200)  # reaper fires: locks freed, write rolled back
+        with pytest.raises(TransactionAbortedError):
+            yield from txn.write("t", "slow", 2)
+
+        # Commit alone must not report success for a reaped txn either.
+        txn2 = harness.api.transaction(hint_table="t", hint_key="slow")
+        yield from txn2.write("t", "slow", 3)
+        yield env.timeout(200)
+        with pytest.raises(TransactionAbortedError):
+            yield from txn2.commit()
+
+        # A fresh transaction proceeds normally over the freed rows.
+        txn3 = harness.api.transaction(hint_table="t", hint_key="slow")
+        yield from txn3.write("t", "slow", 4)
+        yield from txn3.commit()
+
+    harness.run(scenario())
