@@ -1,0 +1,104 @@
+"""Scale engine gates: golden smoke hash + aggregate events/sec vs committed.
+
+Three kinds of assertion, mirroring ``test_kernel_speed.py``:
+
+* The *golden* smoke run (``SMOKE_CONFIG``: 100k clients, 2 shards) must
+  reproduce the committed merged dispatch hash and artifact hash exactly —
+  simulated behaviour is deterministic, so any drift is a model change that
+  needs a deliberate golden bump.
+* The *recorded* scale point in ``BENCH_kernel.json`` must show the sharded
+  engine at >= 2x the kernel microbench's events/sec on >= 4 shards, over a
+  >= 1M virtual-client population.  Recorded back-to-back on one machine,
+  so not subject to this machine's noise.
+* The *live* engine must not have regressed: re-run the smoke config and
+  fail if per-CPU-second event throughput falls more than 20% below the
+  committed number (same tolerance as the kernel gate).
+
+Run explicitly (``PYTHONPATH=src python -m pytest benchmarks/test_scale_speed.py``);
+the tier-1 suite (testpaths=tests) does not include it.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.experiments.perf import SCALE_POINT_SHARDS
+from repro.experiments.scale import SMOKE_CONFIG, run_scale
+
+BENCH_PATH = pathlib.Path(__file__).parent.parent / "BENCH_kernel.json"
+GOLDEN_PATH = pathlib.Path(__file__).parent / "results" / "scale_smoke_golden.json"
+
+REGRESSION_TOLERANCE = 0.8  # same 20% rule as the kernel-speed gate
+
+
+def _committed():
+    if not BENCH_PATH.exists():
+        pytest.skip("no committed BENCH_kernel.json (run `python -m repro perf`)")
+    with open(BENCH_PATH) as fh:
+        return json.load(fh)
+
+
+def _golden():
+    if not GOLDEN_PATH.exists():
+        pytest.skip("no committed scale smoke golden")
+    with open(GOLDEN_PATH) as fh:
+        return json.load(fh)
+
+
+@pytest.fixture(scope="module")
+def smoke_artifact():
+    return run_scale(SMOKE_CONFIG)
+
+
+def test_smoke_matches_golden_hashes(smoke_artifact):
+    golden = _golden()
+    assert smoke_artifact["merged"]["dispatch_hash"] == golden["merged_dispatch_hash"], (
+        "merged dispatch hash drifted from the committed golden; if the "
+        "simulation model changed deliberately, regenerate "
+        "benchmarks/results/scale_smoke_golden.json"
+    )
+    assert smoke_artifact["artifact_hash"] == golden["artifact_hash"]
+    for shard in smoke_artifact["shards"]:
+        assert (
+            shard["dispatch_hash"]
+            == golden["shard_dispatch_hashes"][str(shard["shard_id"])]
+        )
+    for key, value in golden["merged_counts"].items():
+        assert smoke_artifact["merged"][key] == value
+
+
+def test_recorded_scale_point_meets_acceptance():
+    """Committed scale_point: >= 1M clients, >= 4 shards, >= 2x microbench."""
+    report = _committed()
+    point = report.get("scale_point")
+    if point is None:
+        pytest.skip("BENCH_kernel.json has no scale_point (re-record)")
+    assert point["population"] >= 1_000_000
+    assert point["shards"] >= 4
+    assert point["shards"] == SCALE_POINT_SHARDS
+    micro = report["microbench"]["events_per_sec"]
+    assert point["aggregate_events_per_sec"] >= 2.0 * micro, (
+        f"recorded scale point {point['aggregate_events_per_sec']:,} events/s "
+        f"aggregate is under 2x the microbench's {micro:,}"
+    )
+    assert point["aggregate_speedup_vs_microbench"] >= 2.0
+
+
+def test_live_smoke_throughput_has_not_regressed(smoke_artifact):
+    report = _committed()
+    point = report.get("scale_point")
+    if point is None:
+        pytest.skip("BENCH_kernel.json has no scale_point (re-record)")
+    committed_rate = point["aggregate_events_per_sec"] / point["shards"]
+    # Best-of-N, like every wall-clock gate in this suite: the smoke windows
+    # are short, so take the fastest shard over three behaviourally
+    # identical runs.
+    artifacts = [smoke_artifact] + [run_scale(SMOKE_CONFIG) for _ in range(2)]
+    live_rate = max(
+        s["events_per_cpu_sec"] for a in artifacts for s in a["timing"]["per_shard"]
+    )
+    assert live_rate >= REGRESSION_TOLERANCE * committed_rate, (
+        f"scale engine regressed: best shard sustained {live_rate:,} "
+        f"events/cpu-s live vs {committed_rate:,.0f} committed per shard"
+    )

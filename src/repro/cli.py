@@ -9,6 +9,8 @@ Usage:
     python -m repro report               # per-phase latency breakdown
     python -m repro chaos list           # fault-injection scenarios
     python -m repro chaos az-outage-under-load --setup hopsfs-cl-3-3
+    python -m repro scale --population 1000000 --shards 12   # million-client run
+    python -m repro scale --smoke        # canonical golden-gated smoke config
     python -m repro list                 # available targets and setups
 
 Scale knobs are the same as the benchmark suite's: REPRO_BENCH_FULL=1 for
@@ -145,18 +147,96 @@ def _cmd_perf(args) -> int:
     report = run_perf(out_path=args.out, baseline=baseline)
     micro = report["microbench"]
     fig5 = report["fig5_point"]
+    point = report["scale_point"]
     print(f"microbench:  {micro['events_per_sec']:,} events/s "
           f"({micro['events']:,} events in {micro['wall_s']:.2f}s, best of "
           f"{len(micro['events_per_sec_runs'])})")
     print(f"fig5 point:  {fig5['events_per_sec']:,} events/s "
           f"({fig5['setup']} @ {fig5['servers']} servers, "
           f"{fig5['throughput_ops_s']:,.0f} simulated ops/s)")
-    print(f"peak RSS:    {report['peak_rss_mb']:.1f} MB")
+    print(f"scale point: {point['aggregate_events_per_sec']:,} events/s aggregate "
+          f"({point['population']:,} clients over {point['shards']} shards, "
+          f"{point['offered_ops_per_s']:,.0f} offered ops/s, "
+          f"{point['aggregate_speedup_vs_microbench']:.2f}x microbench)")
+    print(f"peak RSS:    {report['peak_rss_mb']:.1f} MB "
+          f"(peak shard RSS {point['peak_shard_rss_mb']:.1f} MB)")
     for key in ("microbench_speedup_vs_pre_pr", "fig5_speedup_vs_pre_pr"):
         if key in report:
             print(f"{key}: {report[key]:.2f}x")
     if args.out:
         print(f"wrote {args.out}")
+    return 0
+
+
+def _cmd_scale(args) -> int:
+    # Imported lazily: the scale runner pulls in the experiment stack.
+    from .chaos import resolve_setup
+    from .errors import ReproError
+    from .experiments.scale import SMOKE_CONFIG, ScaleConfig, run_scale
+
+    try:
+        setup = resolve_setup(args.setup)
+    except ReproError as exc:
+        print(f"{exc}; see `python -m repro list`", file=sys.stderr)
+        return 2
+    if args.smoke:
+        from dataclasses import replace
+
+        config = replace(SMOKE_CONFIG, setup=setup, workers=args.workers or 0)
+    else:
+        config = ScaleConfig(
+            setup=setup,
+            servers=args.servers,
+            population=args.population,
+            rate_ops_per_ms=args.rate,
+            duration_ms=args.duration,
+            warmup_ms=args.warmup,
+            seed=args.seed,
+            shards=args.shards or 0,
+            workers=args.workers or 0,
+            zipf_s=args.zipf_s,
+            detail_every=args.detail_every,
+            scenario=args.scenario,
+        )
+    try:
+        artifact = run_scale(config)
+    except ReproError as exc:
+        print(f"python -m repro scale: {exc}", file=sys.stderr)
+        return 2
+    merged = artifact["merged"]
+    timing = artifact["timing"]
+    cfg = artifact["config"]
+    print(f"setup:            {cfg['setup']} @ {cfg['servers']} servers")
+    print(f"population:       {cfg['population']:,} virtual clients "
+          f"(zipf s={cfg['zipf_s']}, max sampled id {merged['max_client_id']:,})")
+    print(f"shards:           {cfg['shards']} ({timing['workers']} worker "
+          f"process{'es' if timing['workers'] != 1 else ''})")
+    print(f"offered load:     {merged['offered_ops_per_s']:,.0f} ops/s "
+          f"({merged['arrivals']:,} arrivals in {cfg['duration_ms']:.0f} ms)")
+    print(f"detailed ops:     {merged['detailed']:,} sampled 1-in-{cfg['detail_every']} "
+          f"({merged['shed']} shed)")
+    col = merged["collector"]
+    print(f"detail latency:   avg {col['avg_latency_ms']:.2f} ms, "
+          f"p50/p90/p99 {col['p50_ms']:.2f}/{col['p90_ms']:.2f}/{col['p99_ms']:.2f} ms "
+          f"({col['failed']} failed)")
+    print(f"events:           {merged['events']:,} "
+          f"({timing['aggregate_events_per_sec']:,} events/s aggregate over shards, "
+          f"{timing['wall_events_per_sec']:,} events/s wall)")
+    print(f"peak shard RSS:   {timing['peak_shard_rss_mb']:.1f} MB")
+    print(f"merged dispatch:  {merged['dispatch_hash'][:16]}…")
+    print(f"artifact hash:    {artifact['artifact_hash'][:16]}…")
+    if "all_green" in merged:
+        print(f"scenario:         {cfg['scenario']} "
+              f"({'all invariants green' if merged['all_green'] else 'INVARIANT RED'})")
+    if args.json:
+        import json
+
+        with open(args.json, "w") as fh:
+            json.dump(artifact, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.json}")
+    if "all_green" in merged and not merged["all_green"]:
+        return 1
     return 0
 
 
@@ -247,6 +327,40 @@ def main(argv=None) -> int:
                       help="existing BENCH_kernel.json whose pre_pr_baseline to carry over")
     perf.set_defaults(func=_cmd_perf)
 
+    scale = sub.add_parser(
+        "scale", help="sharded aggregated-arrival run over a huge client population"
+    )
+    scale.add_argument("--setup", default="hopsfs-cl-3-3",
+                       help="setup slug or pretty name (default hopsfs-cl-3-3)")
+    scale.add_argument("--servers", type=int, default=3,
+                       help="metadata servers per shard DES (default 3)")
+    scale.add_argument("--population", type=int, default=1_000_000,
+                       help="virtual clients (default 1,000,000)")
+    scale.add_argument("--rate", type=float, default=2000.0,
+                       help="total offered load, ops per simulated ms (default 2000)")
+    scale.add_argument("--duration", type=float, default=200.0,
+                       help="measurement window, simulated ms (default 200)")
+    scale.add_argument("--warmup", type=float, default=20.0)
+    scale.add_argument("--seed", type=int, default=0)
+    scale.add_argument("--shards", type=int, default=None,
+                       help="request-stream partitions (default: 4 per AZ); "
+                            "part of the determinism key")
+    scale.add_argument("--workers", type=int, default=None,
+                       help="worker processes (default: min(shards, CPUs)); "
+                            "never affects the merged artifact")
+    scale.add_argument("--zipf-s", type=float, default=1.05,
+                       help="population skew exponent (default 1.05)")
+    scale.add_argument("--detail-every", type=int, default=64,
+                       help="execute 1-in-K arrivals in full detail (default 64)")
+    scale.add_argument("--scenario", default=None, metavar="NAME",
+                       help="run a chaos scenario inside every shard")
+    scale.add_argument("--smoke", action="store_true",
+                       help="run the canonical CI smoke config "
+                            "(100k clients, 2 shards, golden-gated hash)")
+    scale.add_argument("--json", default=None, metavar="PATH",
+                       help="write the merged artifact as JSON")
+    scale.set_defaults(func=_cmd_scale)
+
     chaos = sub.add_parser(
         "chaos", help="run a named fault-injection scenario ('list' to enumerate)"
     )
@@ -281,7 +395,7 @@ def main(argv=None) -> int:
         for name in SETUPS:
             print(f"  {name}")
         return 0
-    if command in ("point", "perf", "report", "chaos"):
+    if command in ("point", "perf", "report", "chaos", "scale"):
         return args.func(args)
     targets = _TARGETS if command == "all" else [command] + [
         t for t in extra if t in _TARGETS

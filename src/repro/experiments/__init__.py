@@ -1,6 +1,7 @@
 """Experiment harness: the nine setups, the runner, and figure drivers."""
 
 from .runner import PointResult, RunConfig, run_point, server_grid
+from .scale import ScaleConfig, run_scale
 from .setups import SETUPS, SetupSpec, build_setup
 
 __all__ = [
@@ -8,6 +9,8 @@ __all__ = [
     "RunConfig",
     "run_point",
     "server_grid",
+    "ScaleConfig",
+    "run_scale",
     "SETUPS",
     "SetupSpec",
     "build_setup",

@@ -79,6 +79,57 @@ class MetricsCollector:
         self.latencies_ms.append(result.latency_ms)
         self.latencies_by_op[result.op].append(result.latency_ms)
 
+    def merge(self, other: "MetricsCollector") -> "MetricsCollector":
+        """Return a new collector combining two measurement shards.
+
+        The merge is associative and commutative: counters add, per-op maps
+        add key-wise, the window is the union (min start, max end), and the
+        combined latency populations are sorted so the result never depends
+        on which shard contributed first.  Sorting is safe because every
+        consumer of the latency lists (percentiles, averages) is
+        order-insensitive.  Callers that fold many shards should still do so
+        in sorted shard order so any future order-sensitive field stays
+        deterministic.
+        """
+        merged = MetricsCollector()
+        starts = [s for s in (self.window_start, other.window_start) if s is not None]
+        ends = [e for e in (self.window_end, other.window_end) if e is not None]
+        merged.window_start = min(starts) if starts else None
+        merged.window_end = max(ends) if ends else None
+        merged.completed = self.completed + other.completed
+        merged.failed = self.failed + other.failed
+        merged.retried = self.retried + other.retried
+        merged.latencies_ms = sorted(self.latencies_ms + other.latencies_ms)
+        merged.failed_latencies_ms = sorted(
+            self.failed_latencies_ms + other.failed_latencies_ms
+        )
+        for source in (self.by_op, other.by_op):
+            for op, count in source.items():
+                merged.by_op[op] += count
+        for source in (self.latencies_by_op, other.latencies_by_op):
+            for op, values in source.items():
+                merged.latencies_by_op[op].extend(values)
+        for op in merged.latencies_by_op:
+            merged.latencies_by_op[op].sort()
+        return merged
+
+    def summary(self) -> dict:
+        """Deterministic, JSON-ready view used by merged scale artifacts."""
+        pcts = self.latency_percentiles()
+        return {
+            "completed": self.completed,
+            "failed": self.failed,
+            "retried": self.retried,
+            "window_ms": self.window_ms,
+            "throughput_ops_s": self.throughput_ops_per_sec(),
+            "avg_latency_ms": self.avg_latency_ms(),
+            "p50_ms": pcts[50],
+            "p90_ms": pcts[90],
+            "p99_ms": pcts[99],
+            "by_op": {op.name: count for op, count in sorted(
+                self.by_op.items(), key=lambda kv: kv[0].name)},
+        }
+
     # -- derived ----------------------------------------------------------
     @property
     def window_ms(self) -> float:

@@ -112,6 +112,32 @@ class Histogram:
         if self.max is None or value > self.max:
             self.max = value
 
+    def merge(self, other: "Histogram") -> "Histogram":
+        """Return a new histogram combining ``self`` and ``other``.
+
+        Merge is associative and commutative on bucket counts, count, total
+        and min/max (the shard-merge contract: folding per-shard histograms
+        in any order yields the same numbers; callers still fold in sorted
+        shard order so derived artifacts are byte-identical).  Both sides
+        must share the same bucket boundaries.
+        """
+        if self.buckets != other.buckets:
+            raise ValueError(
+                f"cannot merge histograms with different buckets: "
+                f"{self.name!r} vs {other.name!r}"
+            )
+        merged = Histogram(self.name, self.buckets, dict(self.tags))
+        merged.bucket_counts = [
+            a + b for a, b in zip(self.bucket_counts, other.bucket_counts)
+        ]
+        merged.count = self.count + other.count
+        merged.total = self.total + other.total
+        mins = [m for m in (self.min, other.min) if m is not None]
+        maxs = [m for m in (self.max, other.max) if m is not None]
+        merged.min = min(mins) if mins else None
+        merged.max = max(maxs) if maxs else None
+        return merged
+
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0

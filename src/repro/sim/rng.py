@@ -3,12 +3,20 @@
 Every stochastic component draws from its own named stream derived from the
 experiment seed, so adding a component never perturbs the draws of another
 (a classic reproducibility pitfall in simulation studies).
+
+Shard workers (the scale engine's partitioned DES instances) derive their
+streams from ``(seed, shard_id, name)`` instead of ``(seed, name)``: two
+shards asking for the same stream name must never receive the same
+underlying sequence, or the "independent request streams" the sharded
+engine merges would be copies of each other.  The unsharded derivation is
+byte-for-byte what it always was, so golden schedules are unaffected.
 """
 
 from __future__ import annotations
 
 import hashlib
 import random
+from typing import Optional
 
 __all__ = ["RngRegistry"]
 
@@ -16,15 +24,30 @@ __all__ = ["RngRegistry"]
 class RngRegistry:
     """Hands out independent :class:`random.Random` streams by name."""
 
-    def __init__(self, seed: int = 0):
+    def __init__(self, seed: int = 0, shard_id: Optional[int] = None):
         self.seed = seed
+        self.shard_id = shard_id
         self._streams: dict[str, random.Random] = {}
+
+    def for_shard(self, shard_id: int) -> "RngRegistry":
+        """A registry whose streams derive from ``(seed, shard_id, name)``.
+
+        The derivation key uses ``/`` between seed and shard id — the
+        unsharded key is ``{seed}:{name}`` and ``seed`` is an integer, so a
+        sharded key can never collide with an unsharded one.
+        """
+        return RngRegistry(self.seed, shard_id=shard_id)
+
+    def _key(self, name: str) -> str:
+        if self.shard_id is None:
+            return f"{self.seed}:{name}"
+        return f"{self.seed}/{self.shard_id}:{name}"
 
     def stream(self, name: str) -> random.Random:
         """Return the stream for ``name``, creating it deterministically."""
         rng = self._streams.get(name)
         if rng is None:
-            digest = hashlib.sha256(f"{self.seed}:{name}".encode()).digest()
+            digest = hashlib.sha256(self._key(name).encode()).digest()
             rng = random.Random(int.from_bytes(digest[:8], "big"))
             self._streams[name] = rng
         return rng

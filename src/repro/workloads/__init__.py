@@ -1,11 +1,14 @@
 """Workloads: namespace generation, the Spotify mix, and load drivers."""
 
+from .arrivals import AggregatedArrivalEngine, ZipfPopulation
 from .driver import ClosedLoopDriver, OpenLoopDriver
 from .namespace import Namespace, generate_namespace, install_cephfs, install_hopsfs
 from .spotify import SPOTIFY_MIX, SingleOpWorkload, SpotifyWorkload
 from .trace import TraceWorkload, parse_trace_line, write_trace
 
 __all__ = [
+    "AggregatedArrivalEngine",
+    "ZipfPopulation",
     "ClosedLoopDriver",
     "OpenLoopDriver",
     "Namespace",

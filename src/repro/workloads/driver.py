@@ -12,9 +12,12 @@ from ..errors import FsError, NoNamenodeError, ReproError, TransactionAbortedErr
 from ..metrics.collectors import MetricsCollector
 from ..types import OpResult
 
-__all__ = ["ClosedLoopDriver", "OpenLoopDriver"]
+__all__ = ["ClosedLoopDriver", "OpenLoopDriver", "EXPECTED_ERRORS"]
 
-_EXPECTED_ERRORS = (FsError, TransactionAbortedError, NoNamenodeError)
+# Error classes a driver treats as a failed op rather than a harness bug.
+# Shared with the aggregated-arrival engine (repro.workloads.arrivals).
+EXPECTED_ERRORS = (FsError, TransactionAbortedError, NoNamenodeError)
+_EXPECTED_ERRORS = EXPECTED_ERRORS  # backwards-compatible alias
 
 
 class ClosedLoopDriver:

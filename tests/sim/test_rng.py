@@ -24,3 +24,43 @@ def test_streams_differ_by_name_and_seed():
 def test_stream_is_cached():
     reg = RngRegistry(seed=0)
     assert reg.stream("s") is reg.stream("s")
+
+
+# -- sharded derivation ------------------------------------------------------
+
+def _draws(rng, n=20):
+    return [rng.random() for _ in range(n)]
+
+
+def test_for_shard_streams_differ_between_shards():
+    base = RngRegistry(seed=7)
+    s0 = base.for_shard(0).stream("arrivals")
+    s1 = base.for_shard(1).stream("arrivals")
+    assert _draws(s0) != _draws(s1)
+
+
+def test_for_shard_streams_differ_from_unsharded():
+    base = RngRegistry(seed=7)
+    sharded = base.for_shard(0).stream("arrivals")
+    unsharded = RngRegistry(seed=7).stream("arrivals")
+    assert _draws(sharded) != _draws(unsharded)
+
+
+def test_for_shard_is_deterministic():
+    a = RngRegistry(seed=3).for_shard(5).stream("ops")
+    b = RngRegistry(seed=3).for_shard(5).stream("ops")
+    assert _draws(a) == _draws(b)
+
+
+def test_for_shard_does_not_perturb_unsharded_derivation():
+    # Golden schedules depend on the unsharded key staying byte-identical.
+    plain = RngRegistry(seed=11)
+    assert plain._key("x") == "11:x"
+    assert plain.for_shard(2)._key("x") == "11/2:x"
+
+
+def test_shard_key_cannot_collide_with_unsharded_key():
+    # seed is an integer, so an unsharded key never contains "/" before ":".
+    sharded = RngRegistry(seed=1).for_shard(2)._key("n")
+    for seed in range(50):
+        assert RngRegistry(seed=seed)._key("n") != sharded
