@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from ..errors import HostUnreachableError, NoNamenodeError
+from ..errors import FsError, HostUnreachableError, NoNamenodeError, RpcTimeoutError
 from ..net.network import Network
 from ..sim import Environment
 from ..types import AzId, NodeAddress, OpType
@@ -81,9 +81,22 @@ class CephClient:
         span = obs.tracer.start(
             "kclient.op", op=op.value, host=str(self.addr), az=self.az,
         )
+        ts = obs.timeseries
+        start_ms = self.env.now if ts is not None else 0.0
         try:
             result = yield from self._op_body(op, span, kwargs)
+            span.tags["ok"] = True
+            if ts is not None:
+                now = self.env.now
+                ts.record_op(self.az, now - start_ms, True, now)
             return result
+        except (FsError, RpcTimeoutError, HostUnreachableError) as exc:
+            span.tags["ok"] = False
+            span.tags["error"] = type(exc).__name__
+            if ts is not None:
+                now = self.env.now
+                ts.record_op(self.az, now - start_ms, False, now)
+            raise
         finally:
             obs.tracer.finish(span)
 

@@ -162,6 +162,13 @@ class Mds:
             yield from self._mds_op_body(msg, op, kwargs, client)
         finally:
             obs.tracer.finish(span)
+            ts = obs.timeseries
+            if ts is not None:
+                now = self.env.now
+                ts.component_sample(
+                    "mds.handle", str(self.addr), self.az,
+                    now - span.start_ms, True, now,
+                )
 
     def _mds_op_body(self, msg: Message, op: OpType, kwargs, client):
         # Everything contends on the single MDS thread; journaled namespace

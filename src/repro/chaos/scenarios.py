@@ -276,6 +276,11 @@ def run_scenario(
     env.trace = []  # record every dispatched (when, priority, seq)
     if obs is not None:
         obs.attach(env)
+        # Callable-backed gauges over live deployment counters; the
+        # time-series hub (when present) samples them at window seals.
+        from ..obs import register_deployment_metrics
+
+        register_deployment_metrics(obs, target)
 
     namespace = generate_namespace(
         num_top_dirs=2, dirs_per_top=6, files_per_dir=6, seed=seed
@@ -309,6 +314,8 @@ def run_scenario(
 
     env.run_process(scenario_proc(), until=600_000)
     collector.close_window(env.now)
+    if obs is not None and obs.timeseries is not None:
+        obs.timeseries.finalize(env.now)
 
     h = hashlib.sha256()
     for when, prio, seq in env.trace:

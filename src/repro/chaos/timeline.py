@@ -30,6 +30,38 @@ class TimelineCollector(MetricsCollector):
         bucket[0 if result.ok else 1] += 1
         super().record(result)
 
+    def merge(self, other: "TimelineCollector") -> "TimelineCollector":
+        """Return a new collector combining two shards' timelines.
+
+        Same contract as :meth:`MetricsCollector.merge` — associative,
+        commutative, deterministic: base aggregates merge via the parent,
+        and per-bucket ok/failed pairs add index-wise.  Both sides must
+        share ``bucket_ms`` (bucket indices are only comparable on one
+        grid).
+        """
+        if self.bucket_ms != other.bucket_ms:
+            raise ValueError(
+                f"cannot merge timelines with different bucket widths: "
+                f"{self.bucket_ms} vs {other.bucket_ms}"
+            )
+        base = super().merge(other)
+        merged = TimelineCollector(self.bucket_ms)
+        merged.window_start = base.window_start
+        merged.window_end = base.window_end
+        merged.completed = base.completed
+        merged.failed = base.failed
+        merged.retried = base.retried
+        merged.latencies_ms = base.latencies_ms
+        merged.failed_latencies_ms = base.failed_latencies_ms
+        merged.by_op.update(base.by_op)
+        merged.latencies_by_op.update(base.latencies_by_op)
+        for source in (self._buckets, other._buckets):
+            for index, (ok, failed) in source.items():
+                bucket = merged._buckets.setdefault(index, [0, 0])
+                bucket[0] += ok
+                bucket[1] += failed
+        return merged
+
     def timeline(self) -> list[dict]:
         """Dense per-bucket rows: ``{"t_ms", "ok", "failed", "availability"}``.
 

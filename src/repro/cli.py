@@ -9,6 +9,8 @@ Usage:
     python -m repro report               # per-phase latency breakdown
     python -m repro chaos list           # fault-injection scenarios
     python -m repro chaos az-outage-under-load --setup hopsfs-cl-3-3
+    python -m repro monitor              # SLO monitor vs every chaos scenario
+    python -m repro monitor slow-az --setup cephfs --json detect.json
     python -m repro scale --population 1000000 --shards 12   # million-client run
     python -m repro scale --smoke        # canonical golden-gated smoke config
     python -m repro list                 # available targets and setups
@@ -108,7 +110,7 @@ _REPORT_SETUPS = [
 
 
 def _cmd_report(args) -> int:
-    from .obs import ObsContext, breakdown_table
+    from .obs import ObsContext, breakdown_table, phase_breakdown_json
 
     setups = args.setups or _REPORT_SETUPS
     for setup in setups:
@@ -116,6 +118,7 @@ def _cmd_report(args) -> int:
             print(f"unknown setup {setup!r}; see `python -m repro list`",
                   file=sys.stderr)
             return 2
+    doc = {}
     for setup in setups:
         obs = ObsContext()
         config = RunConfig(warmup_ms=args.warmup, window_ms=args.window)
@@ -126,6 +129,18 @@ def _cmd_report(args) -> int:
                    f"({point.throughput_ops_s:,.0f} ops/s)"),
         )
         table.print()
+        if args.json:
+            entry = phase_breakdown_json(obs.tracer)
+            entry["servers"] = point.servers
+            entry["throughput_ops_s"] = point.throughput_ops_s
+            doc[setup] = entry
+    if args.json:
+        import json
+
+        with open(args.json, "w") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.json}")
     return 0
 
 
@@ -228,6 +243,16 @@ def _cmd_scale(args) -> int:
     if "all_green" in merged:
         print(f"scenario:         {cfg['scenario']} "
               f"({'all invariants green' if merged['all_green'] else 'INVARIANT RED'})")
+    if "availability_timeline" in merged:
+        rows = merged["availability_timeline"]
+        degraded = [r for r in rows
+                    if r["availability"] is not None and r["availability"] < 1.0]
+        silent = sum(1 for r in rows if r["availability"] is None)
+        print(f"availability:     {len(rows)} buckets merged across shards, "
+              f"{len(degraded)} degraded, {silent} silent")
+        for r in degraded[:8]:
+            print(f"    t={r['t_ms']:6.0f}ms ok={r['ok']:5d} failed={r['failed']:4d} "
+                  f"avail={r['availability']:.3f}")
     if args.json:
         import json
 
@@ -291,6 +316,59 @@ def _cmd_chaos(args) -> int:
     return 0 if result.all_green else 1
 
 
+def _cmd_monitor(args) -> int:
+    # Imported lazily: the detector harness pulls in both full stacks.
+    from .chaos import resolve_setup
+    from .errors import ReproError
+    from .obs.detect import SCENARIOS, run_monitor, monitor_table
+
+    if args.scenario == "list":
+        print("scenarios (plus 'baseline' and 'all'):")
+        for scenario in SCENARIOS.values():
+            print(f"  {scenario.name:28s} {scenario.description}")
+        return 0
+    try:
+        setup = resolve_setup(args.setup)
+    except ReproError as exc:
+        print(f"{exc}; see `python -m repro list`", file=sys.stderr)
+        return 2
+    if args.scenario == "all":
+        names = ["baseline"] + sorted(SCENARIOS)
+    elif args.scenario == "baseline" or args.scenario in SCENARIOS:
+        names = [args.scenario]
+    else:
+        print(f"unknown scenario {args.scenario!r}; "
+              "see `python -m repro monitor list`", file=sys.stderr)
+        return 2
+
+    results = []
+    for name in names:
+        results.append(run_monitor(
+            name, setup=setup, num_servers=args.servers, seed=args.seed,
+            interval_ms=args.interval, grace_ms=args.grace,
+        ))
+    if len(results) == 1:
+        print(results[0].render())
+    else:
+        print()
+        monitor_table(results, title=f"Detection scores - {setup}").print()
+    if args.json:
+        import json
+
+        doc = {"setup": setup, "seed": args.seed,
+               "runs": [r.to_json() for r in results]}
+        with open(args.json, "w") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.json}")
+    if args.html:
+        with open(args.html, "w") as fh:
+            for r in results:
+                fh.write(r.render_html())
+        print(f"wrote {args.html}")
+    return 0 if all(r.ok for r in results) else 1
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro", description=__doc__,
@@ -318,6 +396,8 @@ def main(argv=None) -> int:
     report.add_argument("--servers", type=int, default=3)
     report.add_argument("--warmup", type=float, default=10.0)
     report.add_argument("--window", type=float, default=10.0)
+    report.add_argument("--json", default=None, metavar="PATH",
+                        help="write the per-setup phase breakdown as JSON")
     report.set_defaults(func=_cmd_report)
 
     perf = sub.add_parser("perf", help="run the kernel perf harness")
@@ -380,6 +460,29 @@ def main(argv=None) -> int:
                        help="attach the tracer (dispatch hash must not change)")
     chaos.set_defaults(func=_cmd_chaos)
 
+    monitor = sub.add_parser(
+        "monitor", help="run the SLO monitor against a chaos scenario and "
+                        "score its alerts vs injected ground truth"
+    )
+    monitor.add_argument("scenario", nargs="?", default="all",
+                         help="scenario name, 'baseline', 'all' (default), "
+                              "or 'list'")
+    monitor.add_argument("--setup", default="hopsfs-cl-3-3",
+                         help="setup slug or pretty name (default hopsfs-cl-3-3)")
+    monitor.add_argument("--servers", type=int, default=3,
+                         help="metadata servers (default 3)")
+    monitor.add_argument("--seed", type=int, default=99)
+    monitor.add_argument("--interval", type=float, default=10.0,
+                         help="time-series window width, ms (default 10)")
+    monitor.add_argument("--grace", type=float, default=60.0,
+                         help="post-heal grace for alert matching, ms (default 60)")
+    monitor.add_argument("--json", default=None, metavar="PATH",
+                         help="write detection scores, alerts, timeline and "
+                              "phase breakdown as JSON")
+    monitor.add_argument("--html", default=None, metavar="PATH",
+                         help="write a self-contained HTML report")
+    monitor.set_defaults(func=_cmd_monitor)
+
     sub.add_parser("list", help="list targets and setups")
     for target in _TARGETS + ["all"]:
         sub.add_parser(target, help=f"regenerate {target}")
@@ -395,7 +498,7 @@ def main(argv=None) -> int:
         for name in SETUPS:
             print(f"  {name}")
         return 0
-    if command in ("point", "perf", "report", "chaos", "scale"):
+    if command in ("point", "perf", "report", "chaos", "scale", "monitor"):
         return args.func(args)
     targets = _TARGETS if command == "all" else [command] + [
         t for t in extra if t in _TARGETS

@@ -152,6 +152,11 @@ class ShardResult:
             "collector": self.collector.summary(),
             "histogram": self.histogram.as_dict(),
         }
+        # Scenario runs use a TimelineCollector; its per-bucket availability
+        # rows are deterministic simulation outputs, so they are hashed too.
+        timeline_fn = getattr(self.collector, "timeline", None)
+        if timeline_fn is not None:
+            out["timeline"] = timeline_fn()
         if self.verdicts is not None:
             out["invariants"] = [
                 {"name": n, "ok": ok, "detail": detail}
@@ -233,7 +238,14 @@ def run_shard(payload: dict) -> ShardResult:
     # All shard randomness flows through the (seed, shard_id, name) streams.
     workload.rng = rng.stream("ops")
     population = ZipfPopulation(config.population, config.zipf_s, rng.stream("population"))
-    collector = MetricsCollector()
+    if scenario is not None:
+        # Detailed ops bucket into an availability timeline over the fault
+        # window; the per-shard timelines merge deterministically below.
+        from ..chaos.timeline import TimelineCollector
+
+        collector: MetricsCollector = TimelineCollector()
+    else:
+        collector = MetricsCollector()
     engine = AggregatedArrivalEngine(
         env,
         _make_stubs(harness, az, config.stubs_per_shard),
@@ -387,6 +399,9 @@ def run_scale(config: Optional[ScaleConfig] = None) -> dict:
     }
     if all_green is not None:
         merged["all_green"] = all_green
+        timeline_fn = getattr(merged_collector, "timeline", None)
+        if timeline_fn is not None:
+            merged["availability_timeline"] = timeline_fn()
 
     deterministic = {
         "schema": "repro-scale-v1",

@@ -187,11 +187,16 @@ class HopsFsClient:
         parent = kwargs.pop("obs_parent", None)
         obs = self.env.obs
         span = None
+        ts = None
+        start_ms = 0.0
         if obs is not None:
             span = obs.tracer.start(
                 "client.op", parent=parent, op=op.value,
                 host=str(self.addr), az=self.location_domain_id,
             )
+            ts = obs.timeseries
+            if ts is not None:
+                start_ms = self.env.now
         state = {"failures": 0}
         try:
             if self.robust is not None:
@@ -200,6 +205,9 @@ class HopsFsClient:
                 result = yield from self._op_body(op, kwargs, span, state)
             if span is not None:
                 span.tags["ok"] = True
+            if ts is not None:
+                now = self.env.now
+                ts.record_op(self.location_domain_id, now - start_ms, True, now)
             return result
         except (FsError, RpcTimeoutError, HostUnreachableError) as exc:
             # Terminal failures must be tagged too (NoNamenodeError and
@@ -208,6 +216,9 @@ class HopsFsClient:
             if span is not None:
                 span.tags["ok"] = False
                 span.tags["error"] = type(exc).__name__
+            if ts is not None:
+                now = self.env.now
+                ts.record_op(self.location_domain_id, now - start_ms, False, now)
             raise
         finally:
             # Drivers read this into OpResult.retries for per-op breakdowns.

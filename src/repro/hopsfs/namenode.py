@@ -233,6 +233,13 @@ class Namenode:
             yield from self._fs_op_body(msg, op, kwargs, span)
         finally:
             obs.tracer.finish(span)
+            ts = obs.timeseries
+            if ts is not None:
+                now = self.env.now
+                ts.component_sample(
+                    "nn.handle", str(self.addr), self.az,
+                    now - span.start_ms, span.tags.get("ok", True) is not False, now,
+                )
 
     def _fs_op_body(self, msg: Message, op: OpType, kwargs, span):
         yield self.handler_pool.submit(self.config.op_cost(op))

@@ -19,7 +19,8 @@ from __future__ import annotations
 
 from typing import Optional
 
-from .breakdown import OpBreakdown, breakdown_table, phase_breakdown
+from .breakdown import (OpBreakdown, breakdown_table, phase_breakdown,
+                        phase_breakdown_json)
 from .export import (
     chrome_trace,
     spans_jsonl,
@@ -34,7 +35,13 @@ from .metrics import (
     Histogram,
     MetricsRegistry,
 )
+from .slo import Alert, SloEngine, SloSpec, default_slos
+from .timeseries import OpWindow, TimeSeriesHub, WindowedSeries
 from .tracer import Span, Tracer
+
+# NOTE: repro.obs.detect (the chaos detector-scoring harness) is *not*
+# re-exported here: it imports repro.chaos, which imports the experiment
+# setups, which import this package — import it as ``repro.obs.detect``.
 
 __all__ = [
     "ObsContext",
@@ -45,6 +52,13 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "DEFAULT_LATENCY_BUCKETS_MS",
+    "TimeSeriesHub",
+    "WindowedSeries",
+    "OpWindow",
+    "SloSpec",
+    "SloEngine",
+    "Alert",
+    "default_slos",
     "chrome_trace",
     "write_chrome_trace",
     "spans_jsonl",
@@ -52,26 +66,34 @@ __all__ = [
     "validate_chrome_trace",
     "OpBreakdown",
     "phase_breakdown",
+    "phase_breakdown_json",
     "breakdown_table",
     "register_deployment_metrics",
 ]
 
 
 class ObsContext:
-    """One run's observability state: a tracer plus a metrics registry."""
+    """One run's observability state: tracer + metrics registry, and an
+    optional windowed time-series hub (``timeseries``, default ``None`` —
+    instrumentation sites guard on it, so plain traced runs pay nothing
+    for the sampler)."""
 
-    __slots__ = ("tracer", "registry", "env")
+    __slots__ = ("tracer", "registry", "timeseries", "env")
 
     def __init__(self, tracer: Optional[Tracer] = None,
-                 registry: Optional[MetricsRegistry] = None):
+                 registry: Optional[MetricsRegistry] = None,
+                 timeseries: Optional[TimeSeriesHub] = None):
         self.tracer = tracer if tracer is not None else Tracer()
         self.registry = registry if registry is not None else MetricsRegistry()
+        self.timeseries = timeseries
         self.env = None
 
     def attach(self, env) -> "ObsContext":
         """Bind to a simulation environment (sets ``env.obs``)."""
         self.env = env
         self.tracer._env = env
+        if self.timeseries is not None:
+            self.timeseries.bind(self)
         env.obs = self
         return self
 
@@ -93,7 +115,8 @@ def register_deployment_metrics(obs: ObsContext, adapter) -> None:
     network = getattr(adapter, "network", None)
     if network is not None:
         reg.gauge("net.dropped_messages", lambda n=network: n.dropped_messages)
-    deployment = getattr(adapter, "deployment", None)
+    # Experiment adapters call it ``deployment``; chaos targets call it ``fs``.
+    deployment = getattr(adapter, "deployment", None) or getattr(adapter, "fs", None)
     if deployment is not None:  # HopsFS
         reg.gauge("nn.ops_served",
                   lambda d=deployment: sum(nn.ops_served for nn in d.namenodes))

@@ -23,7 +23,8 @@ from typing import Dict, List, Optional
 from ..metrics.report import Table
 from .tracer import Span, Tracer
 
-__all__ = ["OpBreakdown", "phase_breakdown", "breakdown_table"]
+__all__ = ["OpBreakdown", "phase_breakdown", "phase_breakdown_json",
+           "breakdown_table"]
 
 # Span names that anchor each phase.  Handler spans on the server side of
 # the metadata tier; block spans are the client-side data RPCs.
@@ -114,6 +115,18 @@ def phase_breakdown(tracer: Tracer) -> Dict[str, OpBreakdown]:
             if span.name.startswith("rpc.") and span.tags.get("cross_az"):
                 agg.cross_az_hops += 1
     return out
+
+
+def phase_breakdown_json(tracer: Tracer) -> dict:
+    """Machine-readable :func:`phase_breakdown`, ordered by op frequency.
+
+    The same rows ``breakdown_table`` prints, as plain data — consumed by
+    ``python -m repro report --json`` and embedded in the monitor
+    artifact (``python -m repro monitor --json``).
+    """
+    rows = sorted(phase_breakdown(tracer).values(),
+                  key=lambda b: (-b.count, b.op))
+    return {"ops": [b.as_dict() for b in rows]}
 
 
 def breakdown_table(tracer: Tracer, title: str = "Latency breakdown") -> Table:

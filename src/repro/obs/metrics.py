@@ -40,6 +40,16 @@ class Counter:
     def inc(self, amount: int = 1) -> None:
         self.value += amount
 
+    def merge(self, other: "Counter") -> "Counter":
+        """Return a new counter summing both sides.
+
+        Same shard-merge contract as :meth:`Histogram.merge`: associative
+        and commutative, so per-shard counters fold in any order.
+        """
+        merged = Counter(self.name, dict(self.tags))
+        merged.value = self.value + other.value
+        return merged
+
     def as_dict(self) -> dict:
         return {"type": "counter", "name": self.name, "value": self.value, "tags": self.tags}
 
@@ -71,6 +81,19 @@ class Gauge:
         if self.fn is not None:
             return self.fn()
         return self._value
+
+    def merge(self, other: "Gauge") -> "Gauge":
+        """Return a new value-backed gauge summing both sides' readings.
+
+        Gauges are instantaneous levels (inflight ops, queue depths), so
+        the cross-shard aggregate of one level is the sum.  The merged
+        gauge is value-backed: callable-backed gauges read live component
+        state, which does not exist on the merge side.  Associative and
+        commutative like the other instruments.
+        """
+        merged = Gauge(self.name, tags=dict(self.tags))
+        merged.set(self.value + other.value)
+        return merged
 
     def as_dict(self) -> dict:
         return {"type": "gauge", "name": self.name, "value": self.value, "tags": self.tags}

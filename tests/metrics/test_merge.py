@@ -10,6 +10,7 @@ import random
 
 import pytest
 
+from repro.chaos.timeline import TimelineCollector
 from repro.metrics.collectors import MetricsCollector
 from repro.obs.metrics import Histogram
 from repro.types import OpResult, OpType
@@ -133,3 +134,69 @@ def test_collector_merge_percentiles_match_pooled_population():
     pooled.latencies_ms = sorted(a.latencies_ms + b.latencies_ms)
     pooled.close_window(1000.0)
     assert merged.latency_percentiles() == pooled.latency_percentiles()
+
+
+# -- TimelineCollector -------------------------------------------------------
+
+def _timeline(seed: int, n: int = 120) -> TimelineCollector:
+    rng = random.Random(seed)
+    c = TimelineCollector(bucket_ms=20.0)
+    c.open_window(0.0)
+    ops = list(OpType)
+    for _ in range(n):
+        ok = rng.random() > 0.1
+        start = rng.uniform(0.0, 900.0)
+        c.record(
+            OpResult(
+                op=rng.choice(ops),
+                start_ms=start,
+                end_ms=start + rng.uniform(0.1, 20.0),
+                ok=ok,
+                error=None if ok else "FsError",
+                retries=rng.randrange(3),
+            )
+        )
+    c.close_window(1000.0)
+    return c
+
+
+def test_timeline_merge_commutative():
+    a, b = _timeline(1), _timeline(2)
+    ab, ba = a.merge(b), b.merge(a)
+    assert ab.timeline() == ba.timeline()
+    assert ab.completed == ba.completed == a.completed + b.completed
+    assert ab.summary() == ba.summary()
+
+
+def test_timeline_merge_associative():
+    a, b, c = _timeline(1), _timeline(2), _timeline(3)
+    left = a.merge(b).merge(c)
+    right = a.merge(b.merge(c))
+    assert left.timeline() == right.timeline()
+    assert left.summary() == right.summary()
+
+
+def test_timeline_merge_buckets_add_index_wise():
+    a, b = _timeline(1), _timeline(2)
+    merged = a.merge(b)
+    rows = {row["t_ms"]: row for row in merged.timeline()}
+    for source in (a, b):
+        for t_ms in (row["t_ms"] for row in source.timeline()):
+            assert t_ms in rows
+    ok_a = sum(row["ok"] for row in a.timeline())
+    ok_b = sum(row["ok"] for row in b.timeline())
+    assert sum(row["ok"] for row in merged.timeline()) == ok_a + ok_b
+    assert sum(row["failed"] for row in merged.timeline()) == a.failed + b.failed
+
+
+def test_timeline_merge_does_not_mutate_inputs():
+    a, b = _timeline(1), _timeline(2)
+    before_a, before_b = a.timeline(), b.timeline()
+    a.merge(b)
+    assert a.timeline() == before_a
+    assert b.timeline() == before_b
+
+
+def test_timeline_merge_rejects_mismatched_bucket_width():
+    with pytest.raises(ValueError):
+        TimelineCollector(bucket_ms=20.0).merge(TimelineCollector(bucket_ms=10.0))
