@@ -22,7 +22,7 @@ import pathlib
 
 import pytest
 
-from repro.experiments.perf import fig5_reference_point, kernel_microbench
+from repro.experiments.perf import async_point, fig5_reference_point, kernel_microbench
 
 BENCH_PATH = pathlib.Path(__file__).parent.parent / "BENCH_kernel.json"
 
@@ -82,6 +82,37 @@ def test_fig5_point_has_not_regressed():
         f"fig5 reference point regressed: {live['events_per_sec']:,} events/s live "
         f"vs {committed:,} committed"
     )
+
+
+def test_async_point_recorded_win():
+    """The committed record must show async group commit beating sync on
+    the reference setup (throughput up or latency down)."""
+    report = _committed()
+    commit = report.get("async_point")
+    assert commit is not None, (
+        "BENCH_kernel.json has no async_point; re-record with `python -m repro perf`"
+    )
+    assert commit["async_speedup"] > 1.0 or commit["async_latency_ratio"] < 1.0, commit
+
+
+def test_async_point_has_not_regressed():
+    """The same 20% regression rule as the sync points, applied to the
+    async group-commit throughput point."""
+    report = _committed()
+    _require_scale_one()
+    if "async_point" not in report:
+        pytest.skip("no async_point recorded; re-record BENCH_kernel.json")
+    committed = report["async_point"]
+    live = async_point()
+    # Simulated throughput is deterministic; the tolerance covers deliberate
+    # re-records on slightly different commit policies, not wall-clock noise.
+    assert live["async"]["throughput_ops_s"] >= (
+        REGRESSION_TOLERANCE * committed["async"]["throughput_ops_s"]
+    ), (
+        f"async point regressed: {live['async']['throughput_ops_s']:,} ops/s live "
+        f"vs {committed['async']['throughput_ops_s']:,} committed"
+    )
+    assert live["async_speedup"] > 1.0, live
 
 
 def test_live_fig5_speedup_vs_pre_pr_kernel():

@@ -22,6 +22,7 @@ __all__ = [
     "block_durability",
     "block_az_coverage",
     "exactly_once",
+    "durability_horizon",
     "deadline_compliance",
     "ceph_namespace_integrity",
     "ceph_subtrees_served",
@@ -194,6 +195,161 @@ def exactly_once(fs) -> InvariantVerdict:
     return InvariantVerdict("exactly-once", not duplicates, detail)
 
 
+def durability_horizon(fs) -> InvariantVerdict:
+    """Every early-acked group-commit batch's fate matches durable storage.
+
+    The async commit path (``config.async_commit``) acks mutations before
+    their batch commits; the contract that keeps the gamble honest:
+
+    - every batch eventually settles (none left ``open`` after a drain);
+    - fsync only confirms horizons whose batch actually committed;
+    - a *committed* batch's writes are durably visible (unless a later
+      committed batch overwrote the same row);
+    - an *aborted* batch leaked nothing into the stores;
+    - a *lost* batch (crash between ack and commit) applied atomically —
+      all of its writes or none, never a torn prefix.
+
+    Audited against fragment-store ground truth on running NDB datanodes,
+    restricted to the ``inodes`` and ``retry_cache`` tables (block/lease
+    rows interleave with synchronous-path writes).  Rows the synchronous
+    path may rewrite later (under-construction or block-bearing inodes)
+    are skipped.  Vacuously green without a group ledger (sync path).
+    """
+    ledger = getattr(fs, "group_ledger", None)
+    if ledger is None:
+        return InvariantVerdict("durability-horizon", True, "n/a (sync commit path)")
+    from ..hopsfs.metadata import INODES_TABLE, RETRY_TABLE, InodeRow
+    from ..ndb.schema import TOMBSTONE
+
+    audited_tables = (INODES_TABLE, RETRY_TABLE)
+    problems: list[str] = []
+    batches = sorted(ledger.batches.values(), key=lambda b: b.batch_id)
+
+    stuck = [b.batch_id for b in batches if b.state == "open"]
+    if stuck:
+        problems.append(f"batches never settled: {stuck[:5]}")
+    committed_ids = {b.batch_id for b in batches if b.state == "committed"}
+    phantom = sorted(ledger.confirmed - committed_ids)
+    if phantom:
+        problems.append(f"fsync confirmed uncommitted horizons: {phantom[:5]}")
+
+    pm = fs.ndb.partition_map
+
+    def ground_truth(table, pk, partition_key):
+        """(auditable, found, value) from the row's running replicas."""
+        replicas = pm.replicas_for_key(partition_key).all
+        any_up = False
+        for addr in replicas:
+            dn = fs.ndb.datanodes[addr]
+            if not dn.running:
+                continue
+            any_up = True
+            found, value = dn.store.lookup(table, pk)
+            if found:
+                return True, True, value
+        return any_up, False, None
+
+    def volatile(value) -> bool:
+        """Rows the synchronous path may rewrite after the batch settles."""
+        return isinstance(value, InodeRow) and (
+            value.under_construction or bool(value.block_ids)
+        )
+
+    # Last committed writer per row.  Commit order is settle order, NOT
+    # batch-id order: each NN runs its own committer, so a lower-id batch
+    # on one NN can reach its NDB commit point after a higher-id batch on
+    # another (ids are allocated at open, commits serialize under NDB row
+    # locks).
+    by_settle = sorted(
+        (b for b in batches if b.state == "committed"),
+        key=lambda b: (b.settled_ms, b.batch_id),
+    )
+    last_writer: dict = {}
+    for batch in by_settle:
+        for table, pk, partition_key, value in batch.writes:
+            if table in audited_tables:
+                last_writer[(table, pk)] = (batch.batch_id, partition_key, value)
+
+    # A *lost* batch may have applied (the crash was after the NDB commit,
+    # the ack just never made it back) and its commit time is unknowable:
+    # every row it touched is ambiguous, so not auditable.
+    lost_touched: set = set()
+    for batch in batches:
+        if batch.state != "lost":
+            continue
+        for table, pk, partition_key, value in batch.writes:
+            if table in audited_tables:
+                lost_touched.add((table, pk))
+
+    for (table, pk), (bid, partition_key, value) in sorted(
+        last_writer.items(), key=lambda item: repr(item[0])
+    ):
+        if volatile(value):
+            continue
+        if (table, pk) in lost_touched:
+            continue
+        auditable, found, actual = ground_truth(table, pk, partition_key)
+        if not auditable or volatile(actual):
+            continue
+        if value is TOMBSTONE:
+            if found:
+                problems.append(f"batch {bid}: delete of {table}:{pk} not applied")
+        elif not found:
+            problems.append(f"batch {bid}: write of {table}:{pk} missing")
+        elif actual != value:
+            problems.append(f"batch {bid}: {table}:{pk} holds a different value")
+
+    for batch in batches:
+        if batch.state == "aborted":
+            for table, pk, partition_key, value in batch.writes:
+                if (
+                    table not in audited_tables
+                    or value is TOMBSTONE
+                    or (table, pk) in last_writer
+                    or (table, pk) in lost_touched
+                    or volatile(value)
+                ):
+                    continue
+                auditable, found, actual = ground_truth(table, pk, partition_key)
+                if auditable and found and actual == value:
+                    problems.append(
+                        f"aborted batch {batch.batch_id} leaked {table}:{pk}"
+                    )
+        elif batch.state == "lost":
+            applied = 0
+            checked = 0
+            for table, pk, partition_key, value in batch.writes:
+                if (
+                    table not in audited_tables
+                    or (table, pk) in last_writer
+                    or volatile(value)
+                ):
+                    continue
+                auditable, found, actual = ground_truth(table, pk, partition_key)
+                if not auditable or volatile(actual):
+                    continue
+                checked += 1
+                if value is TOMBSTONE:
+                    applied += 0 if found else 1
+                else:
+                    applied += 1 if (found and actual == value) else 0
+            if 0 < applied < checked:
+                problems.append(
+                    f"lost batch {batch.batch_id} torn: "
+                    f"{applied}/{checked} writes applied"
+                )
+
+    detail = (
+        "; ".join(problems[:5])
+        if problems
+        else (
+            f"{len(batches)} batches audited "
+            f"(horizon {ledger.horizon}, {ledger.lost_acks} lost acks)"
+        )
+    )
+    return InvariantVerdict("durability-horizon", not problems, detail)
+
+
 def deadline_compliance(target) -> InvariantVerdict:
     """No op outlived its deadline by more than one hop (robust mode).
 
@@ -261,6 +417,7 @@ def verify_hopsfs(fs) -> list[InvariantVerdict]:
         block_durability(fs),
         block_az_coverage(fs),
         exactly_once(fs),
+        durability_horizon(fs),
     ]
 
 

@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from ..errors import ReproError
+from ..hopsfs.groupcommit import AsyncCommitConfig
 from ..hopsfs.robust import RobustConfig
 from ..workloads.driver import ClosedLoopDriver
 from ..workloads.namespace import generate_namespace
@@ -46,6 +47,10 @@ class Scenario:
     # deadlines, hedging, the retry cache, and admission control; ``None``
     # keeps the legacy fail-stop path (CephFS targets always ignore it).
     robust: Optional[RobustConfig] = None
+    # Async group-commit scenarios opt HopsFS metadata mutations into the
+    # early-ack batch path; crashes then race acks against batch commits
+    # and the durability-horizon invariant audits every batch's fate.
+    async_commit: Optional[AsyncCommitConfig] = None
 
 
 def _az_outage_schedule(target: ChaosTarget) -> FaultSchedule:
@@ -118,6 +123,22 @@ def _overload_burst_schedule(target: ChaosTarget) -> FaultSchedule:
     return FaultSchedule().crash_node(60.0, victim).recover_node(200.0, victim)
 
 
+def _async_commit_crash_schedule(target: ChaosTarget) -> FaultSchedule:
+    """Crash metadata servers while group-commit batches are lingering.
+
+    Two staggered NN crashes maximise the odds of catching a batch between
+    early ack and NDB commit (the ``lost`` state); the durability-horizon
+    invariant then audits that every lost batch applied atomically and no
+    fsync vouched for an uncommitted horizon.
+    """
+    servers = target.server_node_ids()
+    schedule = FaultSchedule()
+    schedule.crash_node(60.0, servers[0]).recover_node(160.0, servers[0])
+    if len(servers) > 1:
+        schedule.crash_node(230.0, servers[1]).recover_node(330.0, servers[1])
+    return schedule
+
+
 SCENARIOS: dict[str, Scenario] = {
     s.name: s
     for s in (
@@ -168,6 +189,16 @@ SCENARIOS: dict[str, Scenario] = {
             clients=96,
             drain_ms=300.0,
             robust=RobustConfig(nn_max_inflight=24),
+        ),
+        Scenario(
+            "async-commit-crash",
+            "crash metadata servers mid-linger on the async group-commit "
+            "path; acked-but-uncommitted batches settle as lost and the "
+            "durability-horizon invariant audits their atomicity",
+            _async_commit_crash_schedule,
+            drain_ms=300.0,
+            robust=RobustConfig(),
+            async_commit=AsyncCommitConfig(linger_ms=2.0, max_batch_ops=24),
         ),
     )
 }
@@ -270,7 +301,11 @@ def run_scenario(
     run_ms = load_ms if load_ms is not None else scenario.load_ms
 
     target = build_chaos_target(
-        setup, num_servers=num_servers, seed=seed, robust=scenario.robust
+        setup,
+        num_servers=num_servers,
+        seed=seed,
+        robust=scenario.robust,
+        async_commit=scenario.async_commit,
     )
     env = target.env
     env.trace = []  # record every dispatched (when, priority, seq)

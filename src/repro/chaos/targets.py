@@ -18,7 +18,13 @@ from typing import Optional
 from ..cephfs import CephConfig, build_cephfs
 from ..errors import ReproError
 from ..experiments.setups import SETUPS, SetupSpec
-from ..hopsfs import SMALL_FILE_MAX_BYTES, HopsFsConfig, RobustConfig, build_hopsfs
+from ..hopsfs import (
+    SMALL_FILE_MAX_BYTES,
+    AsyncCommitConfig,
+    HopsFsConfig,
+    RobustConfig,
+    build_hopsfs,
+)
 from ..ndb import NdbConfig
 from ..types import NodeAddress, NodeKind
 from ..workloads.namespace import install_cephfs, install_hopsfs
@@ -296,6 +302,7 @@ def build_chaos_target(
     seed: int = 99,
     env=None,
     robust: "RobustConfig | None" = None,
+    async_commit: "AsyncCommitConfig | None" = None,
 ) -> ChaosTarget:
     """Build a chaos-tuned deployment of any of the nine setups.
 
@@ -306,8 +313,9 @@ def build_chaos_target(
     AZ-aware re-replication is exercised.
 
     ``robust`` opts the HopsFS request path into gray-failure hardening
-    (timeouts, deadlines, hedging, retry cache, admission control); CephFS
-    targets ignore it.
+    (timeouts, deadlines, hedging, retry cache, admission control);
+    ``async_commit`` opts it into the group-commit metadata path (early
+    acks, durability horizons).  CephFS targets ignore both.
     """
     setup = resolve_setup(setup)
     spec = SETUPS[setup]
@@ -332,6 +340,7 @@ def build_chaos_target(
                 op_cost_mutation_ms=0.04,
                 dn_heartbeat_interval_ms=10.0,
                 robust=robust,
+                async_commit=async_commit,
             ),
             heartbeats=True,
             seed=seed,

@@ -44,6 +44,7 @@ _TARGETS = [
     "fig12",
     "fig13",
     "fig14",
+    "fig_async",
 ]
 
 
@@ -63,10 +64,25 @@ def _cmd_point(args) -> int:
         from .obs import ObsContext
 
         obs = ObsContext()
-    config = RunConfig(warmup_ms=args.warmup, window_ms=args.window)
+    async_commit = None
+    if args.async_commit:
+        from .hopsfs.groupcommit import AsyncCommitConfig
+
+        kwargs = {}
+        if args.linger is not None:
+            kwargs["linger_ms"] = args.linger
+        if args.batch_ops is not None:
+            kwargs["max_batch_ops"] = args.batch_ops
+        async_commit = AsyncCommitConfig(**kwargs)
+    config = RunConfig(warmup_ms=args.warmup, window_ms=args.window,
+                       async_commit=async_commit)
     point = run_point(args.setup, args.servers, config=config, obs=obs)
     print(f"setup:          {point.setup}")
     print(f"servers:        {point.servers}")
+    if async_commit is not None:
+        print(f"commit path:    async group commit "
+              f"(linger {async_commit.linger_ms}ms, "
+              f"max {async_commit.max_batch_ops} ops/batch)")
     print(f"throughput:     {point.throughput_ops_s:,.0f} ops/s")
     print(f"avg latency:    {point.avg_latency_ms:.2f} ms")
     print(f"p50/p90/p99:    {point.p50_ms:.2f} / {point.p90_ms:.2f} / {point.p99_ms:.2f} ms")
@@ -173,6 +189,12 @@ def _cmd_perf(args) -> int:
           f"({point['population']:,} clients over {point['shards']} shards, "
           f"{point['offered_ops_per_s']:,.0f} offered ops/s, "
           f"{point['aggregate_speedup_vs_microbench']:.2f}x microbench)")
+    commit = report["async_point"]
+    print(f"async point: {commit['async']['throughput_ops_s']:,.0f} ops/s async vs "
+          f"{commit['sync']['throughput_ops_s']:,.0f} sync "
+          f"({commit['op']} on {commit['setup']}, "
+          f"{commit['async_speedup']:.2f}x throughput, "
+          f"{commit['async_latency_ratio']:.2f}x latency)")
     print(f"peak RSS:    {report['peak_rss_mb']:.1f} MB "
           f"(peak shard RSS {point['peak_shard_rss_mb']:.1f} MB)")
     for key in ("microbench_speedup_vs_pre_pr", "fig5_speedup_vs_pre_pr"):
@@ -386,6 +408,16 @@ def main(argv=None) -> int:
                             "JSON file (load in ui.perfetto.dev)")
     point.add_argument("--trace-jsonl", default=None, metavar="PATH",
                        help="also write raw spans as JSON Lines")
+    point.add_argument("--async-commit", action="store_true",
+                       help="opt HopsFS setups into the async group-commit "
+                            "metadata path (early acks + fsync durability "
+                            "horizon); no-op on CephFS")
+    point.add_argument("--linger", type=float, default=None, metavar="MS",
+                       help="async group-commit linger window in ms "
+                            "(default 1.0; needs --async-commit)")
+    point.add_argument("--batch-ops", type=int, default=None, metavar="N",
+                       help="async group-commit max ops per batch "
+                            "(default 16; needs --async-commit)")
     point.set_defaults(func=_cmd_point)
 
     report = sub.add_parser(

@@ -53,6 +53,10 @@ class RunConfig:
     seed: int = 0
     open_loop_rate_per_ms: Optional[float] = None
     max_clients: int = 12_000
+    # Opt HopsFS setups into the async group-commit metadata path (an
+    # AsyncCommitConfig); None keeps the synchronous legacy path.  CephFS
+    # setups ignore it.
+    async_commit: Optional[object] = None
 
     def scaled(self) -> "RunConfig":
         scale = bench_scale()
@@ -113,7 +117,7 @@ def run_point(
     if isinstance(spec, str):
         spec = SETUPS[spec]
     config = (config or RunConfig()).scaled()
-    adapter = spec.build(num_servers, seed=config.seed)
+    adapter = spec.build(num_servers, seed=config.seed, async_commit=config.async_commit)
     env = adapter.env
     if obs is not None:
         from ..obs import register_deployment_metrics

@@ -41,9 +41,12 @@ class SetupSpec:
     dir_pinning: bool = False
     kclient_cache: bool = True
 
-    def build(self, num_servers: int, seed: int = 0):
+    def build(self, num_servers: int, seed: int = 0, async_commit=None):
+        """``async_commit`` opts HopsFS setups into the group-commit path
+        (an :class:`~repro.hopsfs.AsyncCommitConfig`); CephFS has no
+        equivalent knob and ignores it."""
         if self.kind == "hopsfs":
-            return HopsFsAdapter(self, num_servers, seed)
+            return HopsFsAdapter(self, num_servers, seed, async_commit=async_commit)
         return CephAdapter(self, num_servers, seed)
 
 
@@ -72,10 +75,10 @@ def build_setup(name: str, num_servers: int, seed: int = 0):
 class HopsFsAdapter:
     """Adapter exposing a HopsFS deployment to the experiment runner."""
 
-    def __init__(self, spec: SetupSpec, num_servers: int, seed: int):
+    def __init__(self, spec: SetupSpec, num_servers: int, seed: int, async_commit=None):
         self.spec = spec
         self.num_servers = num_servers
-        config = HopsFsConfig(election_period_ms=100.0)
+        config = HopsFsConfig(election_period_ms=100.0, async_commit=async_commit)
         self.deployment = build_hopsfs(
             num_namenodes=num_servers,
             azs=spec.azs,

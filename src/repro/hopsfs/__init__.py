@@ -12,6 +12,12 @@ from .client import HopsFsClient
 from .config import HopsFsConfig
 from .datanode import BlockStoreDatanode
 from .filesystem import HopsFsDeployment, build_hopsfs
+from .groupcommit import (
+    AsyncCommitConfig,
+    GroupAck,
+    GroupCommitLedger,
+    GroupCommitter,
+)
 from .leader import LeaderElectionService
 from .metadata import (
     BLOCK_SIZE_BYTES,
@@ -37,6 +43,10 @@ __all__ = [
     "BlockStoreDatanode",
     "HopsFsDeployment",
     "build_hopsfs",
+    "AsyncCommitConfig",
+    "GroupAck",
+    "GroupCommitLedger",
+    "GroupCommitter",
     "LeaderElectionService",
     "BLOCK_SIZE_BYTES",
     "ROOT_INODE_ID",

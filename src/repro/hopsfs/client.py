@@ -33,6 +33,7 @@ from ..net.network import Network
 from ..sim import Environment
 from ..types import ANY_AZ, AzId, NodeAddress, OpType
 from .datanode import ReadBlockReq, WriteBlockReq
+from .groupcommit import GroupAck
 from .metadata import BLOCK_SIZE_BYTES, SMALL_FILE_MAX_BYTES
 from .robust import CircuitBreaker, Deadline, RobustConfig
 
@@ -80,6 +81,10 @@ class HopsFsClient:
         # deadline by more than the one-hop slack — the chaos deadline
         # invariant reads this.
         self.deadline_overruns: list[tuple] = []
+        # Async group commit: highest durability horizon acked to this
+        # client, and the horizons not yet confirmed by an fsync barrier.
+        self.durability_horizon = 0
+        self._pending_horizons: set[int] = set()
         self._op_seq = itertools.count(1)
         self._breakers: dict[NodeAddress, CircuitBreaker] = {}
         network.register(addr)
@@ -203,6 +208,13 @@ class HopsFsClient:
                 result = yield from self._robust_op(op, kwargs, span, state)
             else:
                 result = yield from self._op_body(op, kwargs, span, state)
+            if type(result) is GroupAck:
+                # Early ack from the async commit path: record the horizon
+                # this mutation rides and hand back the plain result.
+                self._pending_horizons.add(result.horizon)
+                if result.horizon > self.durability_horizon:
+                    self.durability_horizon = result.horizon
+                result = result.result
             if span is not None:
                 span.tags["ok"] = True
             if ts is not None:
@@ -549,6 +561,26 @@ class HopsFsClient:
                 )
             total += nbytes
         return total
+
+    def fsync(self):
+        """Durability barrier for the async commit path.
+
+        Waits until every horizon this client's early acks rode has
+        settled; returns True when they all committed.  A horizon that
+        aborted or was lost in an NN crash raises :class:`FsError` — the
+        early-acked data did not survive.  A no-op (returns True) when
+        nothing is pending, including on the synchronous path.
+        """
+        if not self._pending_horizons:
+            return True
+        horizons = sorted(self._pending_horizons)
+        try:
+            result = yield from self.op(OpType.FSYNC, horizons=horizons)
+        finally:
+            # Settled either way (committed, aborted, or lost): retrying
+            # the same horizons could never change the answer.
+            self._pending_horizons.difference_update(horizons)
+        return result
 
     def stat(self, path: str):
         result = yield from self.op(OpType.STAT, path=path)

@@ -7,6 +7,7 @@ from typing import Optional
 
 from ..errors import ConfigError
 from ..types import OpType
+from .groupcommit import AsyncCommitConfig
 from .robust import RobustConfig
 
 __all__ = ["HopsFsConfig"]
@@ -44,6 +45,10 @@ class HopsFsConfig:
     # admission control).  None = legacy fail-stop path, which the pinned
     # golden schedules require; chaos targets opt in.
     robust: Optional[RobustConfig] = None
+    # Async group commit (batched flushes, early acks with a durability
+    # horizon).  None = synchronous commit path, bit-identical to the
+    # pinned golden schedules; experiments and chaos targets opt in.
+    async_commit: Optional[AsyncCommitConfig] = None
 
     def __post_init__(self) -> None:
         if self.nn_cores < 1:

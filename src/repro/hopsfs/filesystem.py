@@ -22,6 +22,7 @@ from .blocks import PlacementPolicy
 from .client import HopsFsClient
 from .config import HopsFsConfig
 from .datanode import BlockStoreDatanode
+from .groupcommit import GroupCommitLedger
 from .metadata import IdGenerator, define_fs_schema
 from .namenode import Namenode
 from .pathlock import root_row
@@ -46,6 +47,10 @@ class HopsFsDeployment:
     # One applied-mutation ledger shared by every NN (robust mode writes
     # it); the chaos exactly-once invariant audits it for duplicate ids.
     mutation_ledger: list = field(default_factory=list)
+    # Async group commit (config.async_commit set): the shared batch
+    # ledger the durability-horizon invariant audits.  None on the
+    # synchronous path.
+    group_ledger: Optional[GroupCommitLedger] = None
     _client_ids: itertools.count = field(default_factory=lambda: itertools.count(1))
     _client_az_cycle: Optional[itertools.cycle] = None
 
@@ -210,6 +215,14 @@ def build_hopsfs(
     for nn in namenodes:
         nn.mutation_ledger = mutation_ledger
 
+    # Async group commit: one batch ledger shared by every NN (horizons
+    # are deployment-global) plus a per-NN committer.
+    group_ledger: Optional[GroupCommitLedger] = None
+    if config.async_commit is not None:
+        group_ledger = GroupCommitLedger(env)
+        for nn in namenodes:
+            nn.attach_group_commit(group_ledger)
+
     # Install the root directory before anything runs.
     ndb.preload("inodes", [((0, ""), 0, root_row())])
 
@@ -231,4 +244,5 @@ def build_hopsfs(
         ids=ids,
         rng=rng,
         mutation_ledger=mutation_ledger,
+        group_ledger=group_ledger,
     )

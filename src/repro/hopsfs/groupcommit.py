@@ -1,0 +1,863 @@
+"""Async group commit: batched metadata flushes with early acks.
+
+The reproduced NDB commit protocol is synchronous — every metadata op
+pays a full 2PC round before the client hears back (msg 14), which is the
+protocol-level ceiling no kernel optimisation can lift.  This module adds
+the AsyncFS-style escape hatch (PAPERS.md): the namenode groups multiple
+*compatible* FS ops into one NDB transaction, lingers the flush behind a
+size/time policy, and acks each client as soon as its op's redo record is
+prepared — before the commit.  The ack carries an explicit *durability
+horizon* (the group batch id); a client that needs durability issues an
+``fsync`` barrier that waits for its horizon to settle.
+
+Compatibility rule: two ops may share a batch only when no path of one is
+a prefix of (or equal to) a path of the other.  Prefix-related ops are
+serialized across batches, because an op's transaction reads the
+namespace at read-committed and would not observe a prefix-related
+sibling's still-prepared rows.  Non-grouped ops (reads, block ops) that
+touch a path prefix-related to anything pending first wait for the
+conflicting batches to settle — preserving read-your-writes on one NN.
+
+Crash semantics: a namenode crash marks its open batch ``lost`` — the
+flush RPC may or may not have reached the transaction coordinator, so the
+batch either commits fully (NDB applies the whole transaction) or aborts
+fully (take-over cleanup).  The chaos ``durability_horizon`` invariant
+audits exactly that: committed batches' writes all survive, lost/aborted
+batches apply all-or-nothing, and every fsync-confirmed horizon is
+committed.
+
+``HopsFsConfig.async_commit=None`` (the default) keeps all of this
+dormant: no committer objects, no events, no RNG streams — the legacy
+path stays bit-identical to the pinned golden schedules.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import (
+    ConfigError,
+    DeadlineExceededError,
+    FsError,
+    NdbError,
+    TransactionAbortedError,
+)
+from ..ndb.schema import TOMBSTONE, LockMode
+from ..types import OpType
+from .metadata import INODES_TABLE, RETRY_TABLE, SMALL_FILE_MAX_BYTES, RetryRow
+from .pathlock import normalize_path, split_path
+
+__all__ = [
+    "GROUP_COMMIT_OPS",
+    "AsyncCommitConfig",
+    "GroupAck",
+    "GroupBatch",
+    "GroupCommitLedger",
+    "GroupCommitter",
+    "groupable",
+    "op_paths",
+    "paths_conflict",
+]
+
+# Ops the committer may fold into a shared transaction.  All of them
+# validate before writing (see ops.py), so a failed member leaves no
+# writes behind and the rest of the batch proceeds.  Block ops and reads
+# stay on the sync path; large creates do too (their follow-up ADD_BLOCK
+# needs the committed under-construction inode).
+GROUP_COMMIT_OPS = frozenset(
+    {
+        OpType.MKDIR,
+        OpType.MKDIRS,
+        OpType.CREATE_FILE,
+        OpType.DELETE_FILE,
+        OpType.RENAME,
+        OpType.CHMOD,
+        OpType.SET_REPLICATION,
+        OpType.COMPLETE_FILE,
+    }
+)
+
+
+def groupable(op: OpType, kwargs) -> bool:
+    """Whether this request may ride a group batch."""
+    if op not in GROUP_COMMIT_OPS:
+        return False
+    if op is OpType.CREATE_FILE:
+        data = kwargs.get("data") or b""
+        return len(data) <= SMALL_FILE_MAX_BYTES
+    return True
+
+
+def op_paths(op: OpType, kwargs):
+    """Normalized path component tuples an op touches (for conflicts)."""
+    try:
+        if op is OpType.RENAME:
+            return (
+                tuple(split_path(normalize_path(kwargs["src"]))),
+                tuple(split_path(normalize_path(kwargs["dst"]))),
+            )
+        path = kwargs.get("path")
+        if not path:
+            return ()
+        return (tuple(split_path(normalize_path(path))),)
+    except (FsError, KeyError, TypeError):
+        # Malformed paths fail validation in the op body; nothing for the
+        # conflict rule to protect.
+        return ()
+
+
+def _prefix_related(a, b) -> bool:
+    n = min(len(a), len(b))
+    return a[:n] == b[:n]
+
+
+def paths_conflict(a_paths, b_paths) -> bool:
+    """True when any path of one side prefix-relates to one of the other."""
+    for pa in a_paths:
+        for pb in b_paths:
+            if _prefix_related(pa, pb):
+                return True
+    return False
+
+
+@dataclass(frozen=True)
+class AsyncCommitConfig:
+    """Opt-in group-commit policy (mirrors the ``robust`` pattern).
+
+    ``linger_ms`` bounds how long an open batch waits for more ops after
+    its first member; ``max_batch_ops`` flushes a full batch early.
+    ``max_inflight_batches`` bounds the flush pipeline: the committer
+    gathers (and acks) the next batch while up to that many earlier
+    batches are still committing.  The flush retry loop mirrors
+    :func:`repro.ndb.client.run_transaction`'s backoff, re-executing
+    every member body in a fresh transaction.
+    """
+
+    linger_ms: float = 1.0
+    max_batch_ops: int = 16
+    max_inflight_batches: int = 4
+    max_flush_retries: int = 8
+    flush_backoff_base_ms: float = 2.0
+    flush_backoff_max_ms: float = 40.0
+
+    def __post_init__(self) -> None:
+        if self.linger_ms < 0:
+            raise ConfigError("group-commit linger cannot be negative")
+        if self.max_batch_ops < 1:
+            raise ConfigError("group-commit batch needs at least one op")
+        if self.max_inflight_batches < 1:
+            raise ConfigError("group-commit pipeline needs at least one slot")
+        if self.max_flush_retries < 0:
+            raise ConfigError("flush retry budget cannot be negative")
+        if self.flush_backoff_base_ms <= 0 or self.flush_backoff_max_ms <= 0:
+            raise ConfigError("flush backoff bounds must be positive")
+
+
+class GroupAck:
+    """Early ack: the op's result plus the durability horizon it rides."""
+
+    __slots__ = ("result", "horizon")
+
+    def __init__(self, result, horizon: int):
+        self.result = result
+        self.horizon = horizon
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"GroupAck(horizon={self.horizon}, result={self.result!r})"
+
+
+class GroupBatch:
+    """One group-commit batch: its recorded writes and settle state."""
+
+    __slots__ = (
+        "batch_id",
+        "owner",
+        "state",  # 'open' | 'committed' | 'aborted' | 'lost'
+        "writes",  # (table, pk, partition_key, value-or-TOMBSTONE), exec order
+        "ops",  # (op.value, retry_id-or-None) per member, for reports
+        "acked_ops",
+        "opened_ms",
+        "settled_ms",
+    )
+
+    def __init__(self, batch_id: int, owner):
+        self.batch_id = batch_id
+        self.owner = owner
+        self.state = "open"
+        self.writes: list = []
+        self.ops: list = []
+        self.acked_ops = 0
+        self.opened_ms: Optional[float] = None
+        self.settled_ms: Optional[float] = None
+
+
+class GroupCommitLedger:
+    """Deployment-wide record of every batch and its settle state.
+
+    Batch ids are the durability horizons acks carry; ``confirmed`` holds
+    the horizons fsync barriers have vouched for (the durability-horizon
+    invariant checks those are committed).  ``lost_acks`` counts acks
+    whose batch settled without committing — the early-ack gamble lost.
+    """
+
+    def __init__(self, env):
+        self.env = env
+        self.batches: dict[int, GroupBatch] = {}
+        self._ids = itertools.count(1)
+        self.confirmed: set[int] = set()
+        self.lost_acks = 0
+        self._waiters: dict[int, list] = {}
+
+    def open_batch(self, owner) -> GroupBatch:
+        batch = GroupBatch(next(self._ids), owner)
+        self.batches[batch.batch_id] = batch
+        return batch
+
+    @property
+    def horizon(self) -> int:
+        """Highest committed batch id (0 when nothing committed yet)."""
+        return max(
+            (bid for bid, b in self.batches.items() if b.state == "committed"),
+            default=0,
+        )
+
+    def settle(self, batch: GroupBatch, state: str) -> None:
+        batch.state = state
+        batch.settled_ms = self.env.now
+        for ev in self._waiters.pop(batch.batch_id, ()):
+            ev.succeed(state)
+
+    def wait(self, batch_id: int):
+        """Generator: wait until ``batch_id`` settles; returns its state."""
+        batch = self.batches.get(batch_id)
+        if batch is None:
+            return "committed"  # ids only come from acks; settled long ago
+        if batch.state != "open":
+            return batch.state
+        ev = self.env.event()
+        self._waiters.setdefault(batch_id, []).append(ev)
+        state = yield ev
+        return state
+
+
+class _Replayed:
+    """Sentinel: a retried mutation found its durable retry-cache row."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value):
+        self.value = value
+
+
+class _RecordingTxn:
+    """NdbTransaction proxy that mirrors writes into the batch record.
+
+    The ledger needs the batch's effective write set to audit crash
+    outcomes; ops run unmodified against this proxy.
+    """
+
+    __slots__ = ("txn", "batch")
+
+    def __init__(self, txn, batch: GroupBatch):
+        self.txn = txn
+        self.batch = batch
+
+    @property
+    def txid(self):
+        return self.txn.txid
+
+    def read(self, table, pk, partition_key=None, lock=LockMode.NONE):
+        return self.txn.read(table, pk, partition_key, lock)
+
+    def scan(self, table, partition_key):
+        return self.txn.scan(table, partition_key)
+
+    def write(self, table, pk, value, partition_key=None, size_hint=None):
+        self.batch.writes.append(
+            (table, pk, pk if partition_key is None else partition_key, value)
+        )
+        return self.txn.write(table, pk, value, partition_key, size_hint)
+
+    def delete(self, table, pk, partition_key=None):
+        self.batch.writes.append(
+            (table, pk, pk if partition_key is None else partition_key, TOMBSTONE)
+        )
+        return self.txn.delete(table, pk, partition_key)
+
+
+class _GroupOp:
+    """One queued request riding the group-commit path."""
+
+    __slots__ = (
+        "msg",
+        "op",
+        "fn",
+        "kwargs",
+        "span",
+        "retry_id",
+        "deadline_ms",
+        "paths",
+        "acked",
+        "replayed",
+        "result",
+        "ack_ms",
+    )
+
+    def __init__(self, msg, op, fn, kwargs, span, retry_id, deadline_ms):
+        self.msg = msg
+        self.op = op
+        self.fn = fn
+        self.kwargs = kwargs
+        self.span = span
+        self.retry_id = retry_id
+        self.deadline_ms = deadline_ms
+        self.paths = op_paths(op, kwargs)
+        self.acked = False
+        self.replayed = False
+        self.result = None
+        self.ack_ms: Optional[float] = None
+
+
+class _BatchCtx:
+    """Execution context of one batch: its txn, members, span, fate."""
+
+    __slots__ = ("batch", "txn", "rtxn", "members", "procs", "span", "retry_exc")
+
+    def __init__(self, batch: GroupBatch, txn, rtxn, span):
+        self.batch = batch
+        self.txn = txn
+        self.rtxn = rtxn
+        self.members: list = []  # admitted _GroupOps still in the batch
+        self.procs: list = []  # member body processes
+        self.span = span
+        self.retry_exc = None  # set by a member that hit a retryable abort
+
+
+class GroupCommitter:
+    """Per-namenode batching engine for the async metadata path.
+
+    Two axes of concurrency make the batch path *faster* than the sync
+    path rather than a serial bottleneck:
+
+    - member bodies execute concurrently on the shared transaction (their
+      paths are disjoint by the admission rule, so their lock footprints
+      cannot collide), and each member is acked the moment its own body
+      has prepared — the commit round is off the client's critical path;
+    - flushes pipeline: while up to ``max_inflight_batches`` earlier
+      batches run their commit rounds, the drain loop is already
+      gathering and executing the next batch.  Only ops prefix-related
+      to a still-unsettled batch are held back.
+    """
+
+    def __init__(self, nn, config: AsyncCommitConfig, ledger: GroupCommitLedger):
+        self.nn = nn
+        self.env = nn.env
+        self.config = config
+        self.ledger = ledger
+        self.queue: deque = deque()
+        self._wake = None
+        self._proc = None
+        self._gather: Optional[_BatchCtx] = None
+        self._inflight: list = []  # _BatchCtx, flushing but not settled
+        self._settle_waiters: list = []
+        # Set by a barriered sync-path op: flush the open batch now rather
+        # than waiting out the linger.
+        self._flush_now = False
+        # Crash epoch: bumped by on_crash().  Processes from a stale
+        # generation abandon at their next resume point instead of touching
+        # shared state — their open NDB transactions are left for the
+        # cluster's inactivity reaper, exactly like a client that died
+        # mid-txn.
+        self._gen = 0
+        self._rng = nn.ndb.rng.stream(f"groupcommit:{nn.addr}")
+        self.batches_committed = 0
+        self.batches_aborted = 0
+        self.ops_grouped = 0
+
+    # ------------------------------------------------------------- intake
+    def submit(self, msg, op, fn, kwargs, span, retry_id, deadline_ms) -> None:
+        """Enqueue one request; replies are the committer's job from here."""
+        self.queue.append(_GroupOp(msg, op, fn, kwargs, span, retry_id, deadline_ms))
+        self.ops_grouped += 1
+        if self._proc is None or not self._proc.is_alive:
+            self._proc = self.env.process(
+                self._drain(), name=f"{self.nn.addr}:group-commit"
+            )
+        elif self._wake is not None and not self._wake.triggered:
+            self._wake.succeed()
+
+    # ------------------------------------------------- sync-path barrier
+    def _pending_conflict(self, paths) -> bool:
+        """Paths prefix-related to any un-settled (gathering/flushing) op?"""
+        gather = self._gather
+        if gather is not None:
+            for gop in gather.members:
+                if paths_conflict(paths, gop.paths):
+                    return True
+        for ctx in self._inflight:
+            for gop in ctx.members:
+                if paths_conflict(paths, gop.paths):
+                    return True
+        return False
+
+    def has_conflict(self, paths) -> bool:
+        """Any pending (queued, gathering, or flushing) op conflicts?"""
+        if not paths:
+            return False
+        if self._pending_conflict(paths):
+            return True
+        for gop in self.queue:
+            if paths_conflict(paths, gop.paths):
+                return True
+        return False
+
+    def await_clear(self, paths):
+        """Generator: wait until nothing pending conflicts with ``paths``.
+
+        Keeps read-your-writes on one NN: a sync-path op (read, block op)
+        on a path prefix-related to an un-settled grouped mutation must
+        not run at read-committed until that mutation's batch settles.
+        """
+        while self.has_conflict(paths):
+            # A reader is blocked on the open batch: cut the linger short so
+            # the barrier pays only the commit round, not the full linger.
+            self._flush_now = True
+            if self._wake is not None and not self._wake.triggered:
+                self._wake.succeed()
+            ev = self.env.event()
+            self._settle_waiters.append(ev)
+            yield ev
+
+    def _notify_settled(self) -> None:
+        waiters, self._settle_waiters = self._settle_waiters, []
+        for ev in waiters:
+            ev.succeed()
+
+    # ------------------------------------------------------------- crash
+    def on_crash(self) -> None:
+        """The NN died: every un-settled batch's commit fate is ambiguous."""
+        obs = self.env.obs
+        doomed = list(self._inflight)
+        if self._gather is not None:
+            doomed.append(self._gather)
+        for ctx in doomed:
+            if ctx.batch.state != "open":
+                continue
+            for gop in ctx.members:
+                if gop.acked:
+                    self.ledger.lost_acks += 1
+            self.ledger.settle(ctx.batch, "lost")
+            if ctx.span is not None:
+                obs.tracer.finish(ctx.span, outcome="lost")
+                ctx.span = None
+        self._gather = None
+        self._inflight = []
+        # Queued, never-executed requests: the network layer already failed
+        # their client RPCs when the address went down.
+        self.queue.clear()
+        # Abandon (don't interrupt) in-flight processes: one may be parked
+        # on an RPC whose completion event would then fail with no observer
+        # and crash the kernel.  They stay registered, absorb the failure,
+        # see the stale generation, and return silently.
+        self._gen += 1
+        self._proc = None
+        self._wake = None
+        self._notify_settled()
+
+    # -------------------------------------------------------------- drain
+    def _drain(self):
+        gen = self._gen
+        while self._gen == gen and self.queue:
+            yield from self._gather_batch(gen)
+
+    def _gather_batch(self, gen):
+        env = self.env
+        cfg = self.config
+        nn = self.nn
+        obs = env.obs
+        # Backpressure: bound the flush pipeline.
+        while len(self._inflight) >= cfg.max_inflight_batches:
+            ev = env.event()
+            self._settle_waiters.append(ev)
+            yield ev
+            if self._gen != gen:
+                return
+        batch = self.ledger.open_batch(nn.addr)
+        ctx = _BatchCtx(batch, None, None, None)
+        self._gather = ctx
+        self._flush_now = False
+        flush_deadline = env.now
+
+        # Admit + launch: each admitted member's body runs as its own
+        # process against the shared transaction and acks on completion.
+        while True:
+            if self.queue:
+                cand = self.queue[0]
+                blocked = (
+                    not cand.paths
+                    or any(
+                        paths_conflict(cand.paths, g.paths) for g in ctx.members
+                    )
+                    or self._inflight_conflict(cand.paths)
+                )
+                if ctx.txn is not None and (
+                    len(ctx.members) >= cfg.max_batch_ops or blocked
+                ):
+                    break  # flush; a later batch picks the head up
+                if ctx.txn is None and cand.paths and self._inflight_conflict(cand.paths):
+                    # Head must serialize after a flushing batch: wait for
+                    # a settle, then re-check admission.
+                    ev = env.event()
+                    self._settle_waiters.append(ev)
+                    yield ev
+                    if self._gen != gen:
+                        return
+                    continue
+                if ctx.txn is None and not cand.paths:
+                    # Unparseable paths conflict with everything: run the
+                    # op solo once the pipeline is empty (it will fail
+                    # validation in its body anyway).
+                    if self._inflight:
+                        ev = env.event()
+                        self._settle_waiters.append(ev)
+                        yield ev
+                        if self._gen != gen:
+                            return
+                        continue
+                self.queue.popleft()
+                if cand.deadline_ms is not None and env.now >= cand.deadline_ms:
+                    nn.ops_failed += 1
+                    nn.network.reply(
+                        cand.msg,
+                        DeadlineExceededError(
+                            f"{cand.op.value} deadline expired in group queue"
+                        ),
+                        ok=False,
+                    )
+                    self._notify_settled()
+                    continue
+                if ctx.txn is None:
+                    ctx.txn = nn.api.transaction(
+                        hint_table=INODES_TABLE, hint_key=nn._hint_for(cand.kwargs)
+                    )
+                    batch.opened_ms = env.now
+                    flush_deadline = env.now + cfg.linger_ms
+                    if obs is not None:
+                        ctx.span = obs.tracer.start(
+                            "nn.group_commit",
+                            host=str(nn.addr),
+                            az=nn.az,
+                            batch=batch.batch_id,
+                        )
+                        ctx.txn.obs_span = ctx.span
+                    ctx.rtxn = _RecordingTxn(ctx.txn, batch)
+                ctx.members.append(cand)
+                ctx.procs.append(
+                    env.process(
+                        self._member(ctx, cand, gen),
+                        name=f"{nn.addr}:group-op:{batch.batch_id}",
+                    )
+                )
+                if not cand.paths:
+                    break  # solo batch
+                continue
+            if ctx.txn is None:
+                # Everything queued was shed before joining; nothing opened.
+                self._gather = None
+                self.ledger.settle(batch, "aborted")
+                self._notify_settled()
+                return
+            remaining = flush_deadline - env.now
+            if (
+                remaining <= 0
+                or len(ctx.members) >= cfg.max_batch_ops
+                or (self._flush_now and ctx.txn is not None)
+            ):
+                # Linger expired, the batch filled (the size trigger must
+                # fire even with an empty queue), or a reader barriers.
+                break
+            wake = env.event()
+            self._wake = wake
+            timer = env.timeout(remaining)
+            yield env.any_of([wake, timer])
+            if self._gen != gen:
+                return
+            self._wake = None
+
+        # Hand the batch to the flush pipeline and keep gathering.
+        self._gather = None
+        if ctx.txn is None:
+            self.ledger.settle(batch, "aborted")
+            self._notify_settled()
+            return
+        self._inflight.append(ctx)
+        env.process(
+            self._flush(ctx, env.now - batch.opened_ms, gen),
+            name=f"{nn.addr}:group-flush:{batch.batch_id}",
+        )
+
+    def _inflight_conflict(self, paths) -> bool:
+        for ctx in self._inflight:
+            for gop in ctx.members:
+                if paths_conflict(paths, gop.paths):
+                    return True
+        return False
+
+    # ------------------------------------------------------------- member
+    def _member(self, ctx, gop, gen):
+        """One member body: execute on the shared txn, ack early."""
+        nn = self.nn
+        try:
+            result = yield from self._execute(ctx.rtxn, gop)
+        except FsError as exc:
+            if self._gen != gen:
+                return  # crashed mid-body: on_crash settled the batch
+            # Validation failure before any write (groupable ops
+            # validate-then-write): fail this member, the batch proceeds.
+            ctx.members.remove(gop)
+            nn.ops_failed += 1
+            nn.network.reply(gop.msg, exc, ok=False)
+            self._notify_settled()
+            return
+        except NdbError as exc:
+            # Includes "txn already finished": a sibling member's abort
+            # finishes the shared txn while this body is still reading.
+            if self._gen != gen:
+                return
+            ctx.retry_exc = exc  # whole-batch retry in the flush; unacked
+            return
+        if self._gen != gen:
+            return
+        if isinstance(result, _Replayed):
+            # Durable retry row found: previously committed, so the reply
+            # needs no horizon.
+            ctx.members.remove(gop)
+            nn.ops_served += 1
+            if nn.retry_cache is not None:
+                nn.retry_cache.put(tuple(gop.retry_id), result.value)
+            nn.network.reply(
+                gop.msg, result.value, size=nn.config.client_response_bytes
+            )
+            self._notify_settled()
+            return
+        ctx.batch.ops.append((gop.op.value, gop.retry_id))
+        self._ack(gop, ctx.batch, result)
+
+    # -------------------------------------------------------------- flush
+    def _flush(self, ctx, linger_actual, gen):
+        env = self.env
+        cfg = self.config
+        nn = self.nn
+        batch = ctx.batch
+        # Every member body must have prepared (or failed) before commit.
+        alive = [p for p in ctx.procs if p.is_alive]
+        if alive:
+            yield env.all_of(alive)
+        if self._gen != gen:
+            return
+        txn = ctx.txn
+        rtxn = ctx.rtxn
+        admitted = ctx.members
+        retry_exc = ctx.retry_exc
+        if not admitted:
+            # Every member failed validation or replayed: nothing to commit.
+            yield from txn.abort()
+            if self._gen != gen:
+                return
+            self.ledger.settle(batch, "aborted")
+            if ctx.span is not None:
+                env.obs.tracer.finish(ctx.span, outcome="empty")
+                ctx.span = None
+            self._retire(ctx)
+            return
+        attempt = 0
+        while True:
+            if retry_exc is None:
+                try:
+                    yield from txn.commit()
+                except TransactionAbortedError as exc:
+                    if self._gen != gen:
+                        return
+                    retry_exc = exc
+                else:
+                    if self._gen != gen:
+                        # Crash raced the commit and lost: the batch already
+                        # settled as lost (the commit did land — "lost" means
+                        # ambiguous, and the all-or-nothing audit still holds).
+                        return
+                    self.ledger.settle(batch, "committed")
+                    self.batches_committed += 1
+                    self._finish_commit(ctx, linger_actual, txn.write_count)
+                    return
+            yield from txn.abort()
+            if self._gen != gen:
+                return
+            attempt += 1
+            if not getattr(retry_exc, "retryable", True) or attempt > cfg.max_flush_retries:
+                self._abort_batch(ctx, retry_exc)
+                return
+            backoff = min(
+                cfg.flush_backoff_max_ms,
+                cfg.flush_backoff_base_ms * (2 ** (attempt - 1)),
+            )
+            yield env.timeout(backoff * (0.5 + self._rng.random()))
+            if self._gen != gen:
+                return
+            # Fresh transaction; every member body re-runs against it
+            # (serially — the retry path is rare and correctness-critical).
+            batch.writes.clear()
+            batch.ops.clear()
+            txn = nn.api.transaction(
+                hint_table=INODES_TABLE, hint_key=nn._hint_for(admitted[0].kwargs)
+            )
+            if ctx.span is not None:
+                txn.obs_span = ctx.span
+            rtxn = _RecordingTxn(txn, batch)
+            retry_exc = None
+            kept = []
+            pending = list(admitted)
+            while pending:
+                gop = pending.pop(0)
+                try:
+                    result = yield from self._execute(rtxn, gop)
+                except FsError as exc:
+                    if self._gen != gen:
+                        return
+                    # The namespace moved under an already-acked member (a
+                    # concurrent writer won); its ack is now a lie the
+                    # invariant will count.  Unacked members just fail.
+                    if gop.acked:
+                        self.ledger.lost_acks += 1
+                    else:
+                        nn.ops_failed += 1
+                        nn.network.reply(gop.msg, exc, ok=False)
+                    continue
+                except NdbError as exc:
+                    if self._gen != gen:
+                        return
+                    retry_exc = exc
+                    kept.append(gop)
+                    kept.extend(pending)
+                    break
+                if self._gen != gen:
+                    return
+                if isinstance(result, _Replayed):
+                    # An earlier, ambiguously-lost commit actually landed.
+                    gop.result = result.value
+                    gop.replayed = True
+                    kept.append(gop)
+                    continue
+                gop.result = result
+                batch.ops.append((gop.op.value, gop.retry_id))
+                kept.append(gop)
+            admitted[:] = kept
+            if not admitted:
+                yield from txn.abort()
+                if self._gen != gen:
+                    return
+                self.ledger.settle(batch, "aborted")
+                if ctx.span is not None:
+                    env.obs.tracer.finish(ctx.span, outcome="empty")
+                    ctx.span = None
+                self._retire(ctx)
+                return
+
+    # ---------------------------------------------------------- settling
+    def _retire(self, ctx) -> None:
+        """Drop a settled batch from the pipeline and wake waiters."""
+        if ctx in self._inflight:
+            self._inflight.remove(ctx)
+        self._notify_settled()
+
+    def _ack(self, gop, batch, result) -> None:
+        gop.acked = True
+        gop.ack_ms = self.env.now
+        gop.result = result
+        batch.acked_ops += 1
+        self.nn.ops_served += 1
+        self.nn.network.reply(
+            gop.msg,
+            GroupAck(result, batch.batch_id),
+            size=self.nn.config.client_response_bytes,
+        )
+
+    def _finish_commit(self, ctx, linger_actual, write_count) -> None:
+        nn = self.nn
+        env = self.env
+        now = env.now
+        admitted = ctx.members
+        for gop in admitted:
+            if not gop.acked:
+                self._ack(gop, ctx.batch, gop.result)  # late ack: commit won
+            if gop.retry_id is not None:
+                if nn.retry_cache is not None:
+                    nn.retry_cache.put(tuple(gop.retry_id), gop.result)
+                if not gop.replayed:
+                    nn.mutation_ledger.append((tuple(gop.retry_id), gop.op.value))
+        obs = env.obs
+        if obs is not None:
+            if ctx.span is not None:
+                obs.tracer.finish(
+                    ctx.span, outcome="committed", ops=len(admitted),
+                    writes=write_count,
+                )
+                ctx.span = None
+            reg = obs.registry
+            reg.histogram(
+                "nn.group_commit.batch_ops", buckets=(1, 2, 4, 8, 16, 32, 64)
+            ).observe(len(admitted))
+            reg.histogram("nn.group_commit.linger_ms").observe(linger_actual)
+            lag = reg.histogram("nn.group_commit.durability_lag_ms")
+            for gop in admitted:
+                if gop.ack_ms is not None:
+                    lag.observe(now - gop.ack_ms)
+            if obs.timeseries is not None:
+                obs.timeseries.inc("nn.group_commit.committed", now)
+        self._retire(ctx)
+
+    def _abort_batch(self, ctx, exc) -> None:
+        nn = self.nn
+        self.ledger.settle(ctx.batch, "aborted")
+        self.batches_aborted += 1
+        for gop in ctx.members:
+            if gop.acked:
+                self.ledger.lost_acks += 1
+            else:
+                nn.ops_failed += 1
+                nn.network.reply(gop.msg, exc, ok=False)
+        obs = self.env.obs
+        if obs is not None:
+            if ctx.span is not None:
+                obs.tracer.finish(ctx.span, outcome="aborted", ops=len(ctx.members))
+                ctx.span = None
+            obs.registry.counter("nn.group_commit.aborts").inc()
+            if obs.timeseries is not None:
+                obs.timeseries.inc("nn.group_commit.aborted", self.env.now)
+        self._retire(ctx)
+
+    # ------------------------------------------------------------ bodies
+    def _execute(self, rtxn, gop):
+        """One member body, with the exactly-once retry-row bracketing."""
+        nn = self.nn
+        retry_id = gop.retry_id
+        if retry_id is not None:
+            prior = yield from rtxn.read(
+                RETRY_TABLE,
+                tuple(retry_id),
+                partition_key=retry_id[0],
+                lock=LockMode.EXCLUSIVE,
+            )
+            if prior is not None:
+                return _Replayed(prior.result)
+        result = yield from gop.fn(nn.ctx, rtxn, **gop.kwargs)
+        if retry_id is not None:
+            yield from rtxn.write(
+                RETRY_TABLE,
+                tuple(retry_id),
+                RetryRow(client_id=retry_id[0], op_seq=retry_id[1], result=result),
+                partition_key=retry_id[0],
+            )
+        return result

@@ -31,6 +31,7 @@ from .blocks import BlockManager, PlacementPolicy
 from .config import HopsFsConfig
 from .datanode import CopyBlockReq
 from .dircache import DirCache
+from .groupcommit import GroupCommitter, groupable, op_paths
 from .leader import LeaderElectionService
 from .metadata import BLOCKS_TABLE, INODES_TABLE, RETRY_TABLE, IdGenerator, RetryRow
 from .pathlock import normalize_path, split_path
@@ -120,6 +121,11 @@ class Namenode:
         # Replaced with one list shared across all NNs by the deployment
         # builder; the chaos exactly-once invariant audits it.
         self.mutation_ledger: list = []
+        # Async group commit (opt-in): the deployment builder attaches the
+        # shared ledger and a per-NN committer when config.async_commit is
+        # set; both stay None on the legacy synchronous path.
+        self.group_ledger = None
+        self.committer: Optional[GroupCommitter] = None
         self._safemode_forced = False
         self._election_enabled = False
         self._dispatch_proc = None
@@ -144,9 +150,19 @@ class Namenode:
                     self._dn_monitor(), name=f"{self.addr}:dn-monitor"
                 )
 
+    def attach_group_commit(self, ledger) -> None:
+        """Opt this NN into async group commit (deployment-builder hook)."""
+        self.group_ledger = ledger
+        self.committer = GroupCommitter(self, self.config.async_commit, ledger)
+
     def shutdown(self) -> None:
         self.running = False
         self.network.set_down(self.addr)
+        if self.committer is not None:
+            # The open batch's flush may or may not have reached the TC;
+            # mark it lost and stop the drain process (its in-flight RPC
+            # reply can never be delivered to a down address).
+            self.committer.on_crash()
 
     def restart(self) -> None:
         """Bring a crashed namenode back (stateless: nothing to recover)."""
@@ -261,6 +277,9 @@ class Namenode:
                     ok=False,
                 )
                 return
+        if op is OpType.FSYNC:
+            yield from self._fsync(msg, kwargs)
+            return
         fn = self._OPS.get(op)
         if fn is None:
             self.network.reply(msg, FsError(f"unsupported operation {op}"), ok=False)
@@ -283,6 +302,20 @@ class Namenode:
                 self._post_commit(op, cached)
                 self.network.reply(msg, cached, size=self.config.client_response_bytes)
                 return
+
+        committer = self.committer
+        if committer is not None:
+            if groupable(op, kwargs):
+                # Async path: the committer batches, early-acks and flushes;
+                # replies (including errors) are its job from here.
+                committer.submit(msg, op, fn, kwargs, span, retry_id, deadline_ms)
+                return
+            # Read-your-writes on this NN: a sync-path op prefix-related to
+            # a pending grouped mutation must wait until that batch settles
+            # (its transaction reads at read-committed).
+            paths = op_paths(op, kwargs)
+            if paths and committer.has_conflict(paths):
+                yield from committer.await_clear(paths)
 
         def body(txn):
             if retry_id is not None:
@@ -337,6 +370,38 @@ class Namenode:
         self.ops_served += 1
         self._post_commit(op, result)
         self.network.reply(msg, result, size=self.config.client_response_bytes)
+
+    def _fsync(self, msg: Message, kwargs):
+        """Durability barrier: wait until the caller's horizons settle.
+
+        ``horizons`` is the list of group-batch ids the client's acked
+        mutations rode.  Success means every one of them committed; any
+        aborted or lost horizon fails the barrier, telling the caller its
+        early-acked data did not survive.
+        """
+        ledger = self.group_ledger
+        horizons = kwargs.get("horizons") or ()
+        if ledger is None or not horizons:
+            self.ops_served += 1
+            self.network.reply(msg, True, size=self.config.client_response_bytes)
+            return
+        failed = []
+        for horizon in horizons:
+            state = yield from ledger.wait(horizon)
+            if state == "committed":
+                ledger.confirmed.add(horizon)
+            else:
+                failed.append((horizon, state))
+        if failed:
+            self.ops_failed += 1
+            self.network.reply(
+                msg,
+                FsError(f"durability horizon not committed: {failed}"),
+                ok=False,
+            )
+            return
+        self.ops_served += 1
+        self.network.reply(msg, True, size=self.config.client_response_bytes)
 
     def _post_commit(self, op: OpType, result) -> None:
         """In-memory bookkeeping a (possibly replayed) result implies.

@@ -1,0 +1,57 @@
+"""Namespace *shape* snapshots for differential testing.
+
+The async group-commit differential harness runs the same seeded workload
+through the legacy synchronous path and the async path and asserts the
+final namespaces are equivalent.  Equivalence is over the client-visible
+shape — paths and their attributes — not over inode ids: the two paths
+interleave handler execution differently, so id *allocation order* is not
+part of the contract, while everything a client can observe is.
+"""
+
+from __future__ import annotations
+
+from .metadata import INODES_TABLE
+
+__all__ = ["namespace_snapshot"]
+
+ROOT_ID = 1
+
+
+def namespace_snapshot(fs) -> dict[str, tuple]:
+    """Committed namespace shape: ``path -> (kind, size, perm, repl, data)``.
+
+    Reads committed rows straight from the running NDB fragment stores
+    (any running replica; replica consistency is audited by the chaos
+    invariant catalogue separately), rebuilds paths from parent links,
+    and drops inode ids on purpose.  Rows whose parent chain does not
+    reach the root are skipped — orphan detection belongs to the
+    namespace-integrity invariant, not to the differential diff.
+    """
+    rows: dict[tuple, object] = {}
+    for dn in fs.ndb.datanodes.values():
+        if not dn.running:
+            continue
+        for pk, value in dn.store.iter_rows(INODES_TABLE):
+            rows.setdefault(pk, value)
+
+    children: dict[int, list] = {}
+    for row in rows.values():
+        children.setdefault(row.parent_id, []).append(row)
+
+    snapshot: dict[str, tuple] = {}
+    stack = [(ROOT_ID, "")]
+    while stack:
+        inode_id, prefix = stack.pop()
+        for row in sorted(children.get(inode_id, ()), key=lambda r: r.name):
+            path = f"{prefix}/{row.name}"
+            snapshot[path] = (
+                "dir" if row.is_dir else "file",
+                row.size,
+                row.permission,
+                row.replication,
+                row.under_construction,
+                row.small_data,
+            )
+            if row.is_dir:
+                stack.append((row.id, path))
+    return snapshot

@@ -64,6 +64,9 @@ class NdbTransaction:
         self.txid = api.cluster.next_txid()
         self.finished = False
         self.mutated = False
+        # Rows written/deleted so far: group-commit spans report it as the
+        # batch's redo-log size.
+        self.write_count = 0
         # Set by run_transaction when tracing: the attempt span every RPC of
         # this transaction parents under.
         self.obs_span = None
@@ -139,6 +142,7 @@ class NdbTransaction:
             client_az=self.api.az,
         )
         self.mutated = True
+        self.write_count += 1
         yield from self._call("tc_write", req, size=max(128, size_hint or 256))
 
     def delete(self, table: str, pk: Hashable, partition_key: Optional[Hashable] = None):
@@ -151,6 +155,7 @@ class NdbTransaction:
             client_az=self.api.az,
         )
         self.mutated = True
+        self.write_count += 1
         yield from self._call("tc_write", req, size=128)
 
     def commit(self):

@@ -189,14 +189,29 @@ class NdbCluster:
                 "a whole node group failed: metadata lost",
             )
             return
-        for dn in self.datanodes.values():
-            if dn.running:
-                dn.on_peer_failed(dead)
-        orphaned = [txid for txid, tc in self._txn_tc.items() if tc == dead]
-        for txid in orphaned:
-            for dn in self.datanodes.values():
-                if dn.running:
-                    dn.abort_orphaned(txid)
+        survivors = [dn for _, dn in sorted(self.datanodes.items()) if dn.running]
+        for dn in survivors:
+            dn.on_peer_failed(dead)
+        self._take_over_orphans({dead}, survivors)
+
+    def _take_over_orphans(self, dead_addrs, survivors) -> None:
+        """Settle transactions whose TC died (NDB take-over, Section IV-A2).
+
+        Covers both txids still registered here and txids the dead TC had
+        already unregistered but whose release/complete messages died on
+        its send queue (survivors still hold their locks).  A transaction
+        rolls *forward* when any survivor saw its ChainCommit pass through
+        — the commit point was reached and the client may already hold a
+        success reply — and rolls back otherwise.
+        """
+        orphaned = {txid for txid, tc in self._txn_tc.items() if tc in dead_addrs}
+        for dn in survivors:
+            for dead in sorted(dead_addrs):
+                orphaned |= dn.txids_coordinated_by(dead)
+        for txid in sorted(orphaned):
+            commit = any(dn.has_commit_evidence(txid) for dn in survivors)
+            for dn in survivors:
+                dn.take_over(txid, commit)
             self.unregister_txn(txid)
 
     def restart_datanode(self, addr: NodeAddress):
@@ -318,11 +333,7 @@ class NdbCluster:
         for addr in sorted(addrs):
             for dn in survivors:
                 dn.on_peer_failed(addr)
-        orphaned = sorted(txid for txid, tc in self._txn_tc.items() if tc in addrs)
-        for txid in orphaned:
-            for dn in survivors:
-                dn.abort_orphaned(txid)
-            self.unregister_txn(txid)
+        self._take_over_orphans(set(addrs), survivors)
 
     def heal(self) -> None:
         """Heal partitions and reset arbitration epochs (not node restarts)."""

@@ -131,6 +131,16 @@ class NdbDatanode:
         # transaction's locks, so resurrecting it would let two
         # transactions commit against the same exclusively-read rows.
         self._reaped: dict[int, None] = {}
+        # Which TC is behind each txid holding locks/prepared rows here.
+        # When that TC dies, its release/complete messages may have died
+        # on its send queue — the cluster take-over sweeps these txids so
+        # their locks cannot leak (NDB's take-over protocol, LDM side).
+        self._lock_tc: dict[int, NodeAddress] = {}
+        # Txids whose ChainCommit passed through this node as a backup:
+        # local evidence that the TC reached the commit point.  The
+        # take-over protocol rolls such transactions *forward* (their
+        # client may already hold a success reply), everything else back.
+        self._commit_decided: dict[int, None] = {}
         self.last_heartbeat_from: dict[NodeAddress, float] = {}
         self._rng = cluster.rng.stream(f"ndbd:{addr}")
 
@@ -265,6 +275,12 @@ class NdbDatanode:
             ok=False,
         )
         return True
+
+    def _remember_lock_tc(self, txid: int, tc: NodeAddress) -> None:
+        """Record which TC is behind a txid that holds state on this node."""
+        self._lock_tc[txid] = tc
+        while len(self._lock_tc) > 65536:
+            del self._lock_tc[next(iter(self._lock_tc))]
 
     # ------------------------------------------------------------- TC: reads
     def _tc_read(self, msg: Message):
@@ -430,6 +446,9 @@ class NdbDatanode:
     def _chain_prepare_body(self, cp: ChainPrepare):
         if not self.running:
             return
+        if cp.txid in self._reaped:
+            return  # TC died; the rollback already ran here
+        self._remember_lock_tc(cp.txid, cp.tc)
         pool = self._ldm_pool_for(cp.partition)
         # NDB locks the row on the primary replica first, then on the backup
         # replicas (Section II-B2) — the chain order guarantees exactly that.
@@ -447,6 +466,10 @@ class NdbDatanode:
         yield pool.submit(self.costs.ldm_prepare)
         if not self.running:
             return
+        if cp.txid in self._reaped:
+            # Rolled back while we queued for the lock: let go of it.
+            self.locks.release_all(cp.txid)
+            return
         self.store.prepare(cp.txid, cp.table, cp.pk, cp.partition_key, cp.value)
         size = _CHAIN_OVERHEAD_BYTES + self.cluster.schema.table(cp.table).row_bytes
         if cp.hop == len(cp.chain) - 1:
@@ -459,11 +482,14 @@ class NdbDatanode:
         yield from self._chain_commit_body(msg.payload)
 
     def _chain_commit_body(self, cc: ChainCommit):
-        if not self.running:
+        if not self.running or cc.txid in self._reaped:
             return
         pool = self._ldm_pool_for(cc.partition)
         yield pool.submit(self.costs.ldm_commit)
-        if not self.running:
+        if not self.running or cc.txid in self._reaped:
+            # The take-over already settled this transaction (roll-forward
+            # applied the prepared version, rollback dropped it): a late
+            # ChainCommit must not re-apply or forward.
             return
         if cc.hop == 0:
             # Primary: apply, release the row lock, report Committed.
@@ -472,6 +498,11 @@ class NdbDatanode:
             self._write_redo()
             self._send(cc.tc, "committed", CommittedMsg(txid=cc.txid, seq=cc.seq), size=128)
         else:
+            # Backup hop: the pass-through is commit-point evidence the
+            # take-over protocol consults if the TC dies before Complete.
+            self._commit_decided[cc.txid] = None
+            while len(self._commit_decided) > 65536:
+                del self._commit_decided[next(iter(self._commit_decided))]
             nxt = ChainCommit(**{**cc.__dict__, "hop": cc.hop - 1})
             target = cc.chain[nxt.hop]
             if target == self.addr:
@@ -495,6 +526,9 @@ class NdbDatanode:
         except NdbError:
             pass  # already applied (e.g. retried Complete)
         self.locks.release(cm.txid, (cm.table, cm.pk))
+        if not self.locks.held_keys(cm.txid):
+            self._lock_tc.pop(cm.txid, None)
+            self._commit_decided.pop(cm.txid, None)
         self._write_redo()
         if cm.want_completed:
             self._send(cm.tc, "completed", CompletedMsg(txid=cm.txid, seq=cm.seq), size=128)
@@ -676,18 +710,25 @@ class NdbDatanode:
         req: LdmReadReq = msg.payload
         try:
             parent = msg.extra.get("server_span") if self.env.obs is not None else None
-            value = yield from self._ldm_read_local(req, parent=parent)
+            value = yield from self._ldm_read_local(req, parent=parent, tc=msg.src)
         except NdbError as exc:
             self._reply(msg, exc, ok=False)
             return
         size = self.cluster.schema.table(req.table).row_bytes
         self._reply(msg, value, size=size)
 
-    def _ldm_read_local(self, req: LdmReadReq, parent=None):
+    def _ldm_read_local(self, req: LdmReadReq, parent=None, tc=None):
         pool = self._ldm_pool_for(req.partition)
         if req.lock is not LockMode.NONE:
+            if req.txid in self._reaped:
+                raise TransactionAbortedError(f"txn {req.txid} already rolled back")
+            self._remember_lock_tc(req.txid, tc or self.addr)
             # Locked reads always run on the primary replica.
             yield self.locks.acquire(req.txid, (req.table, req.pk), req.lock, parent=parent)
+            if req.txid in self._reaped:
+                # Rolled back while we queued for the lock: let go of it.
+                self.locks.release_all(req.txid)
+                raise TransactionAbortedError(f"txn {req.txid} already rolled back")
         yield pool.submit(self.costs.ldm_read)
         if not self.running:
             raise NodeFailedError(f"{self.addr} shut down mid-read")
@@ -729,6 +770,8 @@ class NdbDatanode:
     def _release_locks_handler(self, msg: Message):
         release: ReleaseLocksMsg = msg.payload
         yield self._ldm_pool_for(0).submit(self.costs.ldm_commit)
+        self._lock_tc.pop(release.txid, None)
+        self._commit_decided.pop(release.txid, None)
         if release.keys is None:
             # Abort path: roll back prepared rows and drop every lock.
             self.store.abort_all(release.txid)
@@ -748,9 +791,11 @@ class NdbDatanode:
         """React to the cluster-level failure protocol declaring ``dead``.
 
         As a TC we fail pending chain events touching the dead node so that
-        transactions abort promptly (clients retry); as an LDM we roll back
-        prepared rows and locks of transactions coordinated by the dead TC —
-        the observable outcome of NDB's take-over protocol.
+        transactions abort promptly (clients retry).  LDM-side settlement
+        of transactions the dead TC coordinated happens afterwards via the
+        cluster's take-over sweep (:meth:`take_over`), which needs commit
+        evidence from *all* survivors before deciding roll-forward vs
+        rollback.
         """
         for txn in list(self.txns.values()):
             for op in txn.ops.values():
@@ -760,10 +805,39 @@ class NdbDatanode:
                 for event in (op.prepared, op.committed, op.all_completed):
                     if event is not None and not event.triggered:
                         event.fail(error)
+    def txids_coordinated_by(self, dead: NodeAddress) -> set[int]:
+        """Txids holding local locks/prepared rows whose TC is ``dead``.
 
-    def abort_orphaned(self, txid: int) -> None:
-        """Roll back local state of a transaction whose TC died."""
-        self.store.abort_all(txid)
+        These include transactions the dead TC already *unregistered* —
+        its release/complete messages may have died on its send queue, so
+        the cluster's registered-orphan list alone would leak their locks.
+        """
+        return {txid for txid, tc in self._lock_tc.items() if tc == dead}
+
+    def has_commit_evidence(self, txid: int) -> bool:
+        """Did a ChainCommit for ``txid`` pass through this backup?"""
+        return txid in self._commit_decided
+
+    def take_over(self, txid: int, commit: bool) -> None:
+        """Settle local state of a transaction whose TC died.
+
+        ``commit`` reflects the cluster-wide take-over decision: roll the
+        prepared rows forward when any survivor saw the commit point
+        (the client may already hold a success reply), roll them back
+        otherwise.  The txid is also remembered as dead: a lock/prepare
+        message the dying TC put on the wire can still arrive *after*
+        this settlement, and granting it would leak a lock no one will
+        ever release (the same reason the inactivity reaper records what
+        it reaped).
+        """
+        self._reaped[txid] = None
+        self._lock_tc.pop(txid, None)
+        self._commit_decided.pop(txid, None)
+        if commit:
+            self.store.commit_all(txid)
+            self._write_redo()
+        else:
+            self.store.abort_all(txid)
         self.locks.release_all(txid)
 
     # ----------------------------------------------------------- dispatch map

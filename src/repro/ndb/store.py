@@ -47,6 +47,18 @@ class FragmentStore:
         row = self._rows.get((table, pk))
         return row.value if row is not None else None
 
+    def lookup(self, table: str, pk: Hashable) -> tuple[bool, Optional[Any]]:
+        """Committed read distinguishing absent from present: (found, value).
+
+        The durability-horizon invariant audits whether specific batch
+        writes (including deletes) landed; ``read`` alone cannot tell an
+        absent row from one whose value is None.
+        """
+        row = self._rows.get((table, pk))
+        if row is None:
+            return False, None
+        return True, row.value
+
     def read_for(self, txid: int, table: str, pk: Hashable) -> Optional[Any]:
         """Read seeing the transaction's own prepared (uncommitted) version."""
         prepared = self._prepared.get((table, pk))
@@ -94,6 +106,12 @@ class FragmentStore:
         doomed = [k for k, p in self._prepared.items() if p.txid == txid]
         for key in doomed:
             del self._prepared[key]
+
+    def commit_all(self, txid: int) -> None:
+        """Apply every prepared version of ``txid`` (take-over roll-forward)."""
+        decided = [k for k, p in self._prepared.items() if p.txid == txid]
+        for table, pk in decided:
+            self.commit_prepared(txid, table, pk)
 
     # -- bulk load (preloading namespaces without the protocol) -----------------
     def load(self, table: str, pk: Hashable, partition_key: Hashable, value: Any) -> None:

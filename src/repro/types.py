@@ -81,6 +81,9 @@ class OpType(str, enum.Enum):
     COMPLETE_FILE = "completeFile"
     EXISTS = "exists"
     SET_REPLICATION = "setReplication"
+    # Durability barrier for the async group-commit path: waits until the
+    # caller's acked horizons settle.  Non-mutating (no namespace writes).
+    FSYNC = "fsync"
 
     @property
     def mutates(self) -> bool:

@@ -41,6 +41,7 @@ def test_catalogue_green_on_healthy_cluster(ready_target):
         "block-durability",
         "block-az-coverage",
         "exactly-once",
+        "durability-horizon",
         "deadline-compliance",
     ]
     assert all(v.ok for v in verdicts), [str(v) for v in verdicts]

@@ -18,6 +18,7 @@ def make_fs(
     seed=0,
     election_period_ms=50.0,
     robust=None,
+    async_commit=None,
     **ndb_kwargs,
 ):
     """A small, fast deployment for functional tests."""
@@ -28,6 +29,7 @@ def make_fs(
         op_cost_read_ms=0.001,
         op_cost_mutation_ms=0.001,
         robust=robust,
+        async_commit=async_commit,
     )
     ndb_config = NdbConfig(
         num_datanodes=num_ndb_datanodes,

@@ -1,0 +1,169 @@
+"""Differential harness: the async group-commit path vs the legacy path.
+
+The same seeded, scripted workload runs twice — once on the synchronous
+commit path and once with async group commit — and the two runs must be
+equivalent in everything a client can observe:
+
+* per-client op outcome sequences (ok/error type, plus read/stat/listdir
+  payloads) are identical, op for op;
+* the final committed namespace has the same shape (paths + attributes;
+  inode *ids* are excluded on purpose — allocation order is not part of
+  the contract, see :mod:`repro.hopsfs.snapshot`).
+
+Clients own disjoint subtrees so each per-client script has a single
+deterministic semantic outcome regardless of cross-client interleaving.
+"""
+
+import random
+
+from repro.chaos.invariants import durability_horizon, namespace_integrity
+from repro.errors import FsError
+from repro.hopsfs.groupcommit import AsyncCommitConfig
+from repro.hopsfs.snapshot import namespace_snapshot
+
+from .conftest import make_fs
+
+NUM_CLIENTS = 6
+OPS_PER_CLIENT = 40
+SEED = 2026
+
+
+def build_scripts(seed: int):
+    """Per-client op scripts: mostly valid ops plus deliberate errors."""
+    rng = random.Random(seed)
+    scripts = []
+    for i in range(NUM_CLIENTS):
+        root = f"/c{i}"
+        ops = [("mkdir", (root,))]
+        dirs = [root]
+        files = []
+        counter = 0
+        for _ in range(OPS_PER_CLIENT):
+            r = rng.random()
+            counter += 1
+            if r < 0.25 or not files:
+                d = rng.choice(dirs)
+                data = bytes([65 + counter % 26]) * rng.randrange(1, 200)
+                path = f"{d}/f{counter}"
+                ops.append(("create", (path, data)))
+                files.append(path)
+            elif r < 0.40:
+                d = rng.choice(dirs)
+                path = f"{d}/d{counter}"
+                ops.append(("mkdir", (path,)))
+                dirs.append(path)
+            elif r < 0.55:
+                ops.append(("read", (rng.choice(files),)))
+            elif r < 0.63:
+                ops.append(("stat", (rng.choice(files),)))
+            elif r < 0.70:
+                ops.append(("listdir", (rng.choice(dirs),)))
+            elif r < 0.78:
+                ops.append(("chmod", (rng.choice(files), rng.randrange(0o400, 0o777))))
+            elif r < 0.85:
+                src = files.pop(rng.randrange(len(files)))
+                dst = f"{rng.choice(dirs)}/r{counter}"
+                ops.append(("rename", (src, dst)))
+                files.append(dst)
+            elif r < 0.92:
+                victim = files.pop(rng.randrange(len(files)))
+                ops.append(("delete", (victim,)))
+            else:
+                # Deliberate errors: the error *type* must match across paths.
+                kind = rng.randrange(3)
+                if kind == 0:
+                    ops.append(("mkdir", (root,)))
+                elif kind == 1:
+                    ops.append(("read", (f"{root}/missing{counter}",)))
+                else:
+                    ops.append(("delete", (f"{root}/missing{counter}",)))
+        scripts.append(ops)
+    return scripts
+
+
+def _apply(client, name, args):
+    if name == "mkdir":
+        return client.mkdir(*args)
+    if name == "create":
+        return client.create(args[0], data=args[1])
+    if name == "read":
+        return client.read(*args)
+    if name == "stat":
+        return client.stat(*args)
+    if name == "listdir":
+        return client.listdir(*args)
+    if name == "chmod":
+        return client.chmod(*args)
+    if name == "rename":
+        return client.rename(*args)
+    if name == "delete":
+        return client.delete(*args)
+    raise AssertionError(f"unknown scripted op {name}")
+
+
+def _observe(name, result):
+    """The client-visible payload of a successful op."""
+    if name == "read":
+        return bytes(result.small_data) if result.is_small else result.inode.size
+    if name == "stat":
+        return (result.is_dir, result.size, result.permission)
+    if name == "listdir":
+        return tuple(sorted(getattr(row, "name", row) for row in result))
+    return None
+
+
+def run_mode(async_commit):
+    """One full run; returns (per-client records, namespace shape, fs)."""
+    fs = make_fs(num_namenodes=2, async_commit=async_commit, seed=7)
+    scripts = build_scripts(SEED)
+    records = [[] for _ in scripts]
+    done = []
+
+    def client_proc(idx, client, script):
+        for name, args in script:
+            try:
+                result = yield from _apply(client, name, args)
+                records[idx].append((name, "ok", _observe(name, result)))
+            except FsError as exc:
+                records[idx].append((name, type(exc).__name__, None))
+        if async_commit is not None:
+            ok = yield from client.fsync()
+            assert ok is True
+        done.append(idx)
+
+    clients = [fs.client() for _ in scripts]
+    for idx, (client, script) in enumerate(zip(clients, scripts)):
+        fs.env.process(client_proc(idx, client, script), name=f"diff-client{idx}")
+    fs.env.run(until=20_000)
+    assert sorted(done) == list(range(NUM_CLIENTS)), "a scripted client stalled"
+    # Let any still-lingering batch flush before snapshotting.
+    fs.env.run(until=fs.env.now + 100.0)
+    return records, namespace_snapshot(fs), fs
+
+
+def test_async_differential_matches_sync():
+    sync_records, sync_snap, _sync_fs = run_mode(None)
+    async_records, async_snap, async_fs = run_mode(
+        AsyncCommitConfig(linger_ms=0.5, max_batch_ops=8)
+    )
+
+    # Observed per-client semantics are identical, op for op.
+    for idx, (s_rec, a_rec) in enumerate(zip(sync_records, async_records)):
+        assert a_rec == s_rec, f"client {idx} diverged: {a_rec} != {s_rec}"
+
+    # Final committed namespace shape is identical.
+    assert async_snap == sync_snap
+
+    # The async run really exercised group commit (no silent fallthrough)
+    # and its ledger audits clean.
+    assert async_fs.group_ledger is not None
+    grouped = sum(nn.committer.ops_grouped for nn in async_fs.namenodes if nn.committer)
+    assert grouped > 0
+    assert durability_horizon(async_fs).ok
+    assert namespace_integrity(async_fs).ok
+
+
+def test_scripts_are_deterministic():
+    # The harness's own precondition: both modes replay the same script.
+    assert build_scripts(SEED) == build_scripts(SEED)
+    assert build_scripts(SEED) != build_scripts(SEED + 1)

@@ -1,0 +1,221 @@
+"""Unit tests of the async group-commit metadata path.
+
+Covers the committer's observable contract: config validation, batching
+under a linger window, early acks with a durability horizon, the fsync
+barrier, read-your-writes barriers for sync-path reads, per-member error
+isolation, pipelined flushes, and ack loss on an NN crash mid-linger.
+"""
+
+import pytest
+
+from repro.chaos.invariants import durability_horizon
+from repro.errors import ConfigError, FileAlreadyExistsError, FsError
+from repro.hopsfs.groupcommit import AsyncCommitConfig, groupable, op_paths
+from repro.types import OpType
+
+from .conftest import make_fs, run
+
+FAST = AsyncCommitConfig(linger_ms=0.5, max_batch_ops=8)
+
+
+def make_async_fs(async_commit=FAST, num_namenodes=1, **kwargs):
+    return make_fs(num_namenodes=num_namenodes, async_commit=async_commit, **kwargs)
+
+
+# ------------------------------------------------------------------ config
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"linger_ms": -0.1},
+        {"max_batch_ops": 0},
+        {"max_inflight_batches": 0},
+        {"max_flush_retries": -1},
+        {"flush_backoff_base_ms": 0.0},
+        {"flush_backoff_max_ms": -1.0},
+    ],
+)
+def test_config_validation_rejects(kwargs):
+    with pytest.raises(ConfigError):
+        AsyncCommitConfig(**kwargs)
+
+
+def test_groupable_excludes_large_creates_and_reads():
+    assert groupable(OpType.MKDIR, {})
+    assert groupable(OpType.CREATE_FILE, {"data": b"x" * 10})
+    assert not groupable(OpType.CREATE_FILE, {"data": b"x" * 10_000_000})
+    assert not groupable(OpType.READ_FILE, {})
+    assert not groupable(OpType.LIST_DIR, {})
+
+
+def test_op_paths_cover_rename_both_ends():
+    paths = op_paths(OpType.RENAME, {"src": "/a/b", "dst": "/c/d"})
+    assert ("a", "b") in paths and ("c", "d") in paths
+
+
+# ---------------------------------------------------------------- batching
+def test_concurrent_mutations_share_a_batch():
+    fs = make_async_fs(AsyncCommitConfig(linger_ms=2.0, max_batch_ops=16))
+    clients = [fs.client() for _ in range(4)]
+
+    def one(client, path):
+        yield from client.mkdir(path)
+
+    for i, client in enumerate(clients):
+        fs.env.process(one(client, f"/d{i}"), name=f"mk{i}")
+    fs.env.run(until=5_000)
+
+    ledger = fs.group_ledger
+    committed = [b for b in ledger.batches.values() if b.state == "committed"]
+    assert committed, "nothing committed"
+    # Four near-simultaneous disjoint mkdirs ride fewer than four batches.
+    assert max(len(b.ops) for b in committed) >= 2
+    assert sum(len(b.ops) for b in committed) == 4
+
+
+def test_full_batch_flushes_before_linger():
+    fs = make_async_fs(AsyncCommitConfig(linger_ms=500.0, max_batch_ops=2))
+    clients = [fs.client() for _ in range(2)]
+
+    def one(client, path):
+        yield from client.mkdir(path)
+
+    for i, client in enumerate(clients):
+        fs.env.process(one(client, f"/d{i}"), name=f"mk{i}")
+    # Far less than the 500ms linger: only the size trigger can flush.
+    fs.env.run(until=100.0)
+    assert fs.group_ledger.horizon >= 1
+
+
+# ------------------------------------------------------------- early acks
+def test_ack_precedes_commit_and_fsync_barriers():
+    fs = make_async_fs(AsyncCommitConfig(linger_ms=30.0, max_batch_ops=64))
+    client = fs.client()
+
+    def scenario():
+        yield from client.mkdir("/early")
+        # Acked while the batch still lingers: the horizon is pending.
+        assert client.durability_horizon >= 1
+        batch = fs.group_ledger.batches[client.durability_horizon]
+        assert batch.state == "open"
+        ok = yield from client.fsync()
+        assert ok is True
+        assert batch.state == "committed"
+        assert not client._pending_horizons
+        return True
+
+    assert run(fs, scenario())
+    assert client.durability_horizon in fs.group_ledger.confirmed
+
+
+def test_fsync_is_a_noop_without_pending_horizons():
+    fs = make_fs(num_namenodes=1)  # synchronous path
+    client = fs.client()
+
+    def scenario():
+        yield from client.mkdir("/plain")
+        ok = yield from client.fsync()
+        return ok
+
+    assert run(fs, scenario()) is True
+
+
+# ------------------------------------------------- read-your-writes barrier
+def test_sync_read_after_grouped_write_sees_the_write():
+    fs = make_async_fs(AsyncCommitConfig(linger_ms=50.0, max_batch_ops=64))
+    client = fs.client()
+
+    def scenario():
+        yield from client.mkdir("/ryow")
+        # The batch is still lingering; a sync-path read prefix-related to
+        # it must barrier on the flush instead of reading stale state.
+        row = yield from client.stat("/ryow")
+        listing = yield from client.listdir("/")
+        return row, list(listing)
+
+    row, names = run(fs, scenario())
+    assert row.is_dir
+    assert "ryow" in names
+
+
+# ------------------------------------------------------- error isolation
+def test_member_error_does_not_poison_the_batch():
+    fs = make_async_fs(AsyncCommitConfig(linger_ms=2.0, max_batch_ops=16))
+    client_pre = fs.client()
+    run(fs, client_pre.mkdir("/dup"))
+
+    client_a = fs.client()
+    client_b = fs.client()
+    outcomes = {}
+
+    def dup(client):
+        try:
+            yield from client.mkdir("/dup")
+            outcomes["a"] = "ok"
+        except FileAlreadyExistsError:
+            outcomes["a"] = "exists"
+
+    def fresh(client):
+        yield from client.mkdir("/fresh")
+        outcomes["b"] = "ok"
+
+    fs.env.process(dup(client_a), name="dup")
+    fs.env.process(fresh(client_b), name="fresh")
+    fs.env.run(until=5_000)
+
+    assert outcomes == {"a": "exists", "b": "ok"}
+    row = run(fs, fs.client().stat("/fresh"))
+    assert row.is_dir
+
+
+# ------------------------------------------------------------- pipelining
+def test_flushes_pipeline_across_batches():
+    fs = make_async_fs(AsyncCommitConfig(linger_ms=0.2, max_batch_ops=4))
+    clients = [fs.client() for _ in range(6)]
+
+    def burst(client, base):
+        for i in range(4):
+            yield from client.mkdir(f"/{base}-{i}")
+
+    for i, client in enumerate(clients):
+        fs.env.process(burst(client, f"p{i}"), name=f"burst{i}")
+    fs.env.run(until=10_000)
+
+    committer = fs.namenodes[0].committer
+    assert committer.batches_committed >= 2
+    assert committer.ops_grouped == 24
+    assert durability_horizon(fs).ok
+
+
+# ------------------------------------------------------------ crash → lost
+def test_crash_mid_linger_loses_the_ack_and_fsync_reports_it():
+    fs = make_async_fs(
+        AsyncCommitConfig(linger_ms=200.0, max_batch_ops=64), num_namenodes=2
+    )
+    client = fs.client()
+    result = {}
+
+    def scenario():
+        yield from client.mkdir("/doomed")
+        horizon = client.durability_horizon
+        assert horizon >= 1
+        batch = fs.group_ledger.batches[horizon]
+        assert batch.state == "open"
+        # Crash the NN that owns the lingering batch before it flushes.
+        owner = next(nn for nn in fs.namenodes if str(nn.addr) == str(batch.owner))
+        owner.shutdown()
+        assert batch.state == "lost"
+        try:
+            yield from client.fsync()
+            result["fsync"] = "ok"
+        except FsError:
+            result["fsync"] = "lost"
+        return True
+
+    assert run(fs, scenario())
+    assert result["fsync"] == "lost"
+    assert fs.group_ledger.lost_acks == 1
+    # The invariant audits the lost batch as all-or-nothing (here: nothing).
+    fs.env.run(until=fs.env.now + 300.0)
+    verdict = durability_horizon(fs)
+    assert verdict.ok, verdict.detail
+    assert run(fs, fs.client().exists("/doomed")) is False
