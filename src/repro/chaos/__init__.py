@@ -18,7 +18,13 @@ from .invariants import (
     verify_target,
 )
 from .schedule import ACTIONS, FaultEvent, FaultSchedule, parse_node
-from .scenarios import SCENARIOS, ChaosRunResult, Scenario, run_scenario
+from .scenarios import (
+    SCENARIOS,
+    ChaosRunResult,
+    Scenario,
+    run_elastic_comparison,
+    run_scenario,
+)
 from .targets import (
     CephTarget,
     ChaosTarget,
@@ -49,5 +55,6 @@ __all__ = [
     "SCENARIOS",
     "Scenario",
     "ChaosRunResult",
+    "run_elastic_comparison",
     "run_scenario",
 ]

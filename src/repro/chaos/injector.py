@@ -5,6 +5,10 @@ insertion order)`` order, sleeping to each event's absolute fire time and
 executing it synchronously within one simulation instant (node recovery
 may itself take simulated time — fragment copies, journal replays — in
 which case later events fire no earlier than the recovery completes).
+Elastic membership actions (``add_namenode`` / ``decommission_namenode``
+/ ``preempt_namenode``) return immediately: drains and preemption
+warnings run as background deployment processes so a churn storm never
+skews the fire times of later schedule events.
 It draws from no RNG, so the same schedule against the same seeded
 deployment reproduces a bit-identical kernel dispatch sequence; with
 tracing attached it only *records* (``chaos.fault`` spans and per-action

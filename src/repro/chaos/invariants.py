@@ -23,6 +23,8 @@ __all__ = [
     "block_az_coverage",
     "exactly_once",
     "durability_horizon",
+    "drained_ack_integrity",
+    "membership_convergence",
     "deadline_compliance",
     "ceph_namespace_integrity",
     "ceph_subtrees_served",
@@ -350,6 +352,76 @@ def durability_horizon(fs) -> InvariantVerdict:
     return InvariantVerdict("durability-horizon", not problems, detail)
 
 
+def drained_ack_integrity(fs) -> InvariantVerdict:
+    """A decommissioned NN acked nothing it didn't commit.
+
+    Graceful drain stops admission, waits out in-flight ops, then flushes
+    any open group-commit batch before the NN deregisters and stops.  If
+    the drain worked, no early-acked batch owned by the draining NN can
+    settle ``lost`` during its drain window — every ack it handed out is
+    backed by an NDB commit (or an abort the client saw as an error).
+    Vacuously green when no NN was ever decommissioned.
+    """
+    events = [
+        e for e in getattr(fs, "reconfig_log", []) if e.kind == "decommission"
+    ]
+    if not events:
+        return InvariantVerdict(
+            "drained-ack-integrity", True, "n/a (no decommissions)"
+        )
+    problems = []
+    for event in events:
+        if event.lost_acks_during_drain:
+            problems.append(
+                f"{event.address}: {event.lost_acks_during_drain} acks "
+                f"lost during its drain"
+            )
+        if event.completed_ms is None:
+            problems.append(f"{event.address}: drain never completed")
+    detail = (
+        "; ".join(problems[:5])
+        if problems
+        else f"{len(events)} decommissions audited"
+    )
+    return InvariantVerdict("drained-ack-integrity", not problems, detail)
+
+
+def membership_convergence(fs) -> InvariantVerdict:
+    """After reconfiguration the leader view converged on every running NN.
+
+    Every running NN's election view must list exactly the running NNs
+    (departed NNs aged out, joiners registered), and exactly one of them
+    must believe it is the leader.  Vacuously green when the pool was
+    never reconfigured (static runs already pin election behaviour).
+    """
+    if not getattr(fs, "reconfig_log", []):
+        return InvariantVerdict(
+            "membership-convergence", True, "n/a (no reconfigurations)"
+        )
+    running = [nn for nn in fs.namenodes if nn.running]
+    if not running:
+        return InvariantVerdict(
+            "membership-convergence", False, "no running namenodes"
+        )
+    expected = sorted(nn.nn_id for nn in running)
+    problems = []
+    for nn in running:
+        view = sorted(entry[0] for entry in nn.election.active)
+        if view != expected:
+            problems.append(
+                f"{nn.addr} sees ids {view}, expected {expected}"
+            )
+    leaders = [nn.addr for nn in running if nn.election.is_leader]
+    if len(leaders) != 1:
+        problems.append(f"{len(leaders)} leaders: {leaders}")
+    detail = (
+        "; ".join(problems[:5])
+        if problems
+        else f"{len(running)} views converged, leader {leaders[0]}"
+    )
+    return InvariantVerdict("membership-convergence", not problems, detail)
+
+
 def deadline_compliance(target) -> InvariantVerdict:
     """No op outlived its deadline by more than one hop (robust mode).
 
@@ -418,6 +490,8 @@ def verify_hopsfs(fs) -> list[InvariantVerdict]:
         block_az_coverage(fs),
         exactly_once(fs),
         durability_horizon(fs),
+        drained_ack_integrity(fs),
+        membership_convergence(fs),
     ]
 
 

@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from ..errors import ReproError
+from ..hopsfs.elastic import ElasticConfig, elastic_summary
 from ..hopsfs.groupcommit import AsyncCommitConfig
 from ..hopsfs.robust import RobustConfig
 from ..workloads.driver import ClosedLoopDriver
@@ -26,7 +27,13 @@ from .schedule import FaultSchedule
 from .targets import ChaosTarget, build_chaos_target
 from .timeline import TimelineCollector
 
-__all__ = ["Scenario", "SCENARIOS", "ChaosRunResult", "run_scenario"]
+__all__ = [
+    "Scenario",
+    "SCENARIOS",
+    "ChaosRunResult",
+    "run_scenario",
+    "run_elastic_comparison",
+]
 
 
 @dataclass(frozen=True)
@@ -51,6 +58,10 @@ class Scenario:
     # early-ack batch path; crashes then race acks against batch commits
     # and the durability-horizon invariant audits every batch's fate.
     async_commit: Optional[AsyncCommitConfig] = None
+    # Elastic scenarios opt HopsFS into runtime pool reconfiguration:
+    # clients refresh membership from the leader view, and (when
+    # ``autoscale``) a load-driven autoscaler grows/shrinks the NN pool.
+    elastic: Optional[ElasticConfig] = None
 
 
 def _az_outage_schedule(target: ChaosTarget) -> FaultSchedule:
@@ -139,6 +150,48 @@ def _async_commit_crash_schedule(target: ChaosTarget) -> FaultSchedule:
     return schedule
 
 
+def _nn_churn_schedule(target: ChaosTarget) -> FaultSchedule:
+    """Continuous join/leave: grow, then rotate every original NN out."""
+    if target.kind != "hopsfs":
+        raise ReproError(f"{target.name}: elastic NN membership is HopsFS-only")
+    servers = target.server_node_ids()
+    schedule = FaultSchedule().add_namenode(40.0)
+    schedule.decommission_namenode(90.0, servers[0])
+    schedule.add_namenode(140.0)
+    if len(servers) > 1:
+        schedule.decommission_namenode(190.0, servers[1])
+    schedule.add_namenode(240.0)
+    if len(servers) > 2:
+        schedule.decommission_namenode(290.0, servers[2])
+    return schedule
+
+
+def _spot_preemption_storm_schedule(target: ChaosTarget) -> FaultSchedule:
+    """Spot kills take out every original NN, staggered, with 5ms warnings."""
+    if target.kind != "hopsfs":
+        raise ReproError(f"{target.name}: elastic NN membership is HopsFS-only")
+    schedule = FaultSchedule()
+    t = 60.0
+    for node in target.server_node_ids():
+        schedule.preempt_namenode(t, node, warning_ms=5.0)
+        t += 90.0
+    return schedule
+
+
+# Elastic scenario configs: fast membership refresh so clients track the
+# churn, and (for the storm) an autoscaler whose per-AZ floor provisions
+# replacements for preempted capacity.  max == min pins the pool at the
+# floor so the storm's only scale-ups are preemption replacements.
+_CHURN_ELASTIC = ElasticConfig(autoscale=False, membership_refresh_ms=25.0)
+_STORM_ELASTIC = ElasticConfig(
+    membership_refresh_ms=25.0,
+    autoscale_interval_ms=20.0,
+    cooldown_ms=40.0,
+    min_nns_per_az=1,
+    max_nns_per_az=2,
+)
+
+
 SCENARIOS: dict[str, Scenario] = {
     s.name: s
     for s in (
@@ -200,6 +253,28 @@ SCENARIOS: dict[str, Scenario] = {
             robust=RobustConfig(),
             async_commit=AsyncCommitConfig(linger_ms=2.0, max_batch_ops=24),
         ),
+        Scenario(
+            "nn-churn",
+            "NNs join and leave continuously: three adds interleaved with "
+            "three graceful decommissions while clients follow the "
+            "leader-maintained membership view",
+            _nn_churn_schedule,
+            drain_ms=400.0,
+            robust=RobustConfig(),
+            async_commit=AsyncCommitConfig(linger_ms=2.0, max_batch_ops=24),
+            elastic=_CHURN_ELASTIC,
+        ),
+        Scenario(
+            "spot-preemption-storm",
+            "spot-style preemptions (5ms warning) take out every original "
+            "NN in turn; the autoscaler's per-AZ floor provisions "
+            "replacements and clients keep availability green via "
+            "membership refresh",
+            _spot_preemption_storm_schedule,
+            drain_ms=400.0,
+            robust=RobustConfig(),
+            elastic=_STORM_ELASTIC,
+        ),
     )
 }
 
@@ -219,6 +294,9 @@ class ChaosRunResult:
     failed: int
     events: int
     dispatch_hash: str
+    # Elastic runs only: reconfiguration log + latency stats and the
+    # cost-normalized throughput (ops/s per NN·second provisioned).
+    elastic: Optional[dict] = None
     extra: dict = field(default_factory=dict)
 
     @property
@@ -241,6 +319,7 @@ class ChaosRunResult:
             "events": self.events,
             "dispatch_hash": self.dispatch_hash,
             "all_green": self.all_green,
+            **({"elastic": self.elastic} if self.elastic is not None else {}),
         }
 
     def render(self) -> str:
@@ -306,6 +385,7 @@ def run_scenario(
         seed=seed,
         robust=scenario.robust,
         async_commit=scenario.async_commit,
+        elastic=scenario.elastic,
     )
     env = target.env
     env.trace = []  # record every dispatched (when, priority, seq)
@@ -369,6 +449,83 @@ def run_scenario(
         events=env._seq,
         dispatch_hash=h.hexdigest(),
     )
+    if scenario.elastic is not None and target.kind == "hopsfs":
+        result.elastic = elastic_summary(target.fs, collector.completed, env.now)
     result.extra["target"] = target
     result.extra["collector"] = collector
     return result
+
+
+def run_elastic_comparison(
+    setup: str = "HopsFS-CL (3,3)",
+    num_servers: int = 6,
+    seed: int = 99,
+    clients: int = 6,
+    load_ms: float = 300.0,
+) -> dict:
+    """Fixed-pool vs autoscaled cost-normalized throughput, same workload.
+
+    Both legs run the identical Spotify mix (fault-free) on an
+    over-provisioned pool of ``num_servers`` NNs.  The fixed leg keeps
+    every NN for the whole run; the autoscaled leg lets the scale-in
+    policy retire idle NNs to the per-AZ floor, so the same completed-op
+    count is bought with fewer NN·seconds.  Each leg reports its own
+    dispatch hash — both are deterministic, rerun-identical artifacts.
+    """
+
+    def _no_faults(target: ChaosTarget) -> FaultSchedule:
+        if target.kind != "hopsfs":
+            raise ReproError(
+                f"{target.name}: elastic NN membership is HopsFS-only"
+            )
+        return FaultSchedule()
+
+    legs = {
+        "fixed": Scenario(
+            "elastic-fixed",
+            "over-provisioned fixed NN pool (cost baseline)",
+            _no_faults,
+            load_ms=load_ms,
+            drain_ms=200.0,
+            clients=clients,
+            robust=RobustConfig(),
+            elastic=ElasticConfig(autoscale=False),
+        ),
+        "autoscaled": Scenario(
+            "elastic-autoscaled",
+            "same load; the autoscaler retires idle NNs to the per-AZ floor",
+            _no_faults,
+            load_ms=load_ms,
+            drain_ms=200.0,
+            clients=clients,
+            robust=RobustConfig(),
+            elastic=ElasticConfig(
+                autoscale_interval_ms=20.0,
+                cooldown_ms=40.0,
+                min_nns_per_az=1,
+                max_nns_per_az=2,
+                scale_down_utilization=0.05,
+            ),
+        ),
+    }
+    out = {"setup": setup, "num_servers": num_servers, "seed": seed, "legs": {}}
+    for key, leg in legs.items():
+        result = run_scenario(
+            leg, setup=setup, num_servers=num_servers, seed=seed
+        )
+        out["legs"][key] = {
+            "scenario": leg.name,
+            "completed": result.completed,
+            "failed": result.failed,
+            "all_green": result.all_green,
+            "dispatch_hash": result.dispatch_hash,
+            "elastic": result.elastic,
+        }
+        out["setup"] = result.setup
+    fixed = out["legs"]["fixed"]["elastic"]
+    autoscaled = out["legs"]["autoscaled"]["elastic"]
+    if fixed and autoscaled and fixed["ops_per_nn_second"]:
+        out["cost_efficiency_gain"] = (
+            (autoscaled["ops_per_nn_second"] or 0.0) / fixed["ops_per_nn_second"]
+        )
+    return out

@@ -33,6 +33,10 @@ ACTIONS = frozenset(
         "degrade_link",  # add latency on one inter-AZ path
         "restore_links",  # remove all link degradations
         "recover_all",  # restart every crashed daemon, cluster-wide
+        # Elastic serving tier (HopsFS targets only):
+        "add_namenode",  # provision a new NN (az= optional placement hint)
+        "decommission_namenode",  # gracefully drain an NN out of the pool
+        "preempt_namenode",  # spot-style kill: warning window, then the plug
     }
 )
 
@@ -60,7 +64,7 @@ class FaultEvent:
     az: Optional[int] = None  # az_outage / az_heal
     groups: Optional[tuple[tuple[int, ...], tuple[int, ...]]] = None  # partition
     az_pair: Optional[tuple[int, int]] = None  # degrade_link
-    extra_ms: float = 0.0  # degrade_link
+    extra_ms: float = 0.0  # degrade_link latency / preempt_namenode warning
 
     def __post_init__(self) -> None:
         # Normalize numerics so repr() — and thus fingerprint() — is stable
@@ -91,7 +95,18 @@ class FaultEvent:
                 raise ReproError("degrade_link needs az_pair=(az_a, az_b)")
             if self.extra_ms <= 0:
                 raise ReproError(f"degrade_link needs extra_ms > 0, got {self.extra_ms!r}")
-        # heal / restore_links / recover_all take no operands
+        elif self.action in ("decommission_namenode", "preempt_namenode"):
+            if not self.node:
+                raise ReproError(f"{self.action} needs node=")
+            if parse_node(self.node).kind is not NodeKind.NAMENODE:
+                raise ReproError(f"{self.action} targets namenodes, got {self.node!r}")
+            if self.action == "preempt_namenode" and self.extra_ms < 0:
+                raise ReproError(
+                    f"preempt_namenode warning (extra_ms) must be >= 0, "
+                    f"got {self.extra_ms!r}"
+                )
+        # heal / restore_links / recover_all / add_namenode (az optional)
+        # take no mandatory operands
 
     def as_dict(self) -> dict:
         out = {"at_ms": self.at_ms, "action": self.action}
@@ -124,8 +139,12 @@ class FaultEvent:
         return event
 
     def describe(self) -> str:
-        if self.action in ("crash_node", "recover_node"):
+        if self.action in ("crash_node", "recover_node", "decommission_namenode"):
             return f"{self.action} {self.node}"
+        if self.action == "preempt_namenode":
+            return f"preempt_namenode {self.node} warn={self.extra_ms}ms"
+        if self.action == "add_namenode":
+            return f"add_namenode az{self.az}" if self.az else "add_namenode"
         if self.action in ("az_outage", "az_heal"):
             return f"{self.action} az{self.az}"
         if self.action == "partition":
@@ -188,6 +207,20 @@ class FaultSchedule:
 
     def recover_all(self, at_ms: float) -> "FaultSchedule":
         return self.add(FaultEvent(at_ms, "recover_all"))
+
+    def add_namenode(self, at_ms: float, az: Optional[int] = None) -> "FaultSchedule":
+        return self.add(FaultEvent(at_ms, "add_namenode", az=az))
+
+    def decommission_namenode(self, at_ms: float, node: str) -> "FaultSchedule":
+        return self.add(FaultEvent(at_ms, "decommission_namenode", node=node))
+
+    def preempt_namenode(
+        self, at_ms: float, node: str, warning_ms: float = 5.0
+    ) -> "FaultSchedule":
+        """Spot-style preemption: ``warning_ms`` of notice, then a hard kill."""
+        return self.add(
+            FaultEvent(at_ms, "preempt_namenode", node=node, extra_ms=warning_ms)
+        )
 
     # -- views ----------------------------------------------------------------
     @property

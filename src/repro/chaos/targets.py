@@ -21,6 +21,7 @@ from ..experiments.setups import SETUPS, SetupSpec
 from ..hopsfs import (
     SMALL_FILE_MAX_BYTES,
     AsyncCommitConfig,
+    ElasticConfig,
     HopsFsConfig,
     RobustConfig,
     build_hopsfs,
@@ -107,6 +108,17 @@ class ChaosTarget:
         """Metadata-server node ids, for rolling-restart schedules."""
         raise NotImplementedError
 
+    # Elastic membership (HopsFS targets only; CephFS has no equivalent of
+    # a stateless metadata worker that can join/leave at runtime here).
+    def add_namenode(self, az) -> str:
+        raise ReproError(f"{self.name}: elastic NN membership not supported")
+
+    def decommission_namenode(self, addr: NodeAddress) -> str:
+        raise ReproError(f"{self.name}: elastic NN membership not supported")
+
+    def preempt_namenode(self, addr: NodeAddress, warning_ms: float) -> str:
+        raise ReproError(f"{self.name}: elastic NN membership not supported")
+
     # -- event execution -------------------------------------------------------
     def addrs_in_az(self, az: int) -> list[NodeAddress]:
         topo = self.network.topology
@@ -167,6 +179,21 @@ class ChaosTarget:
                     recovered.append(str(addr))
             yield self.env.timeout(0)
             return f"recovered all: {','.join(recovered) or '(none down)'}"
+        # Elastic membership actions return immediately: drains and warning
+        # windows run as background processes so a churn storm never skews
+        # the firing times of later schedule events.
+        if action == "add_namenode":
+            detail = self.add_namenode(event.az)
+            yield self.env.timeout(0)
+            return detail
+        if action == "decommission_namenode":
+            detail = self.decommission_namenode(parse_node(event.node))
+            yield self.env.timeout(0)
+            return detail
+        if action == "preempt_namenode":
+            detail = self.preempt_namenode(parse_node(event.node), event.extra_ms)
+            yield self.env.timeout(0)
+            return detail
         raise ReproError(f"unknown fault action {action!r}")
 
 
@@ -188,13 +215,22 @@ class HopsFsTarget(ChaosTarget):
         for bdn in deployment.block_datanodes:
             self._by_addr[bdn.addr] = bdn
 
+    def _refresh_nodes(self) -> None:
+        """Pick up NNs the elastic lifecycle added after construction."""
+        for nn in self.fs.namenodes:
+            if nn.addr not in self._by_addr:
+                self._by_addr[nn.addr] = nn
+
     def managed_addrs(self) -> list[NodeAddress]:
+        self._refresh_nodes()
         return sorted(self._by_addr)
 
     def is_running(self, addr: NodeAddress) -> bool:
+        self._refresh_nodes()
         return self._by_addr[addr].running
 
     def crash(self, addr: NodeAddress) -> None:
+        self._refresh_nodes()
         node = self._by_addr.get(addr)
         if node is None:
             raise ReproError(f"{self.name}: no such node {addr}")
@@ -205,13 +241,23 @@ class HopsFsTarget(ChaosTarget):
             node.shutdown()
 
     def recover(self, addr: NodeAddress):
+        self._refresh_nodes()
         node = self._by_addr.get(addr)
         if node is None:
             raise ReproError(f"{self.name}: no such node {addr}")
+        if addr in self.fs.decommissioned:
+            # A gracefully retired NN stays retired: recover_all after an
+            # elastic scale-down must not resurrect it.
+            yield self.env.timeout(0)
+            return
         if addr.kind is NodeKind.NDB_DATANODE:
             yield from self.fs.ndb.restart_datanode(addr)
         else:
             node.restart()
+            if addr in self.fs.preempted:
+                # Spot capacity came back: it heartbeats again, so it is no
+                # longer exempt from anything.
+                self.fs.preempted.discard(addr)
             yield self.env.timeout(0)
 
     def on_heal(self) -> None:
@@ -249,6 +295,26 @@ class HopsFsTarget(ChaosTarget):
 
     def server_node_ids(self) -> list[str]:
         return [str(nn.addr) for nn in self.fs.namenodes]
+
+    # -- elastic membership ---------------------------------------------------
+    def add_namenode(self, az) -> str:
+        nn = self.fs.add_namenode(az=az, reason="chaos")
+        self._by_addr[nn.addr] = nn
+        return f"added {nn.addr} in az{nn.az}"
+
+    def decommission_namenode(self, addr: NodeAddress) -> str:
+        self.env.process(
+            self.fs.decommission_namenode(addr, reason="chaos"),
+            name=f"{addr}:decommission",
+        )
+        return f"decommissioning {addr} (draining)"
+
+    def preempt_namenode(self, addr: NodeAddress, warning_ms: float) -> str:
+        self.env.process(
+            self.fs.preempt_namenode(addr, warning_ms=warning_ms),
+            name=f"{addr}:preempt",
+        )
+        return f"preempting {addr} (warning {warning_ms}ms)"
 
 
 class CephTarget(ChaosTarget):
@@ -303,6 +369,7 @@ def build_chaos_target(
     env=None,
     robust: "RobustConfig | None" = None,
     async_commit: "AsyncCommitConfig | None" = None,
+    elastic: "ElasticConfig | None" = None,
 ) -> ChaosTarget:
     """Build a chaos-tuned deployment of any of the nine setups.
 
@@ -341,6 +408,7 @@ def build_chaos_target(
                 dn_heartbeat_interval_ms=10.0,
                 robust=robust,
                 async_commit=async_commit,
+                elastic=elastic,
             ),
             heartbeats=True,
             seed=seed,

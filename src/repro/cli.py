@@ -302,10 +302,14 @@ def _cmd_chaos(args) -> int:
         print("scenarios:")
         for scenario in SCENARIOS.values():
             print(f"  {scenario.name:28s} {scenario.description}")
+        print("  elastic-compare              fixed-pool vs autoscaled "
+              "cost-normalized throughput (HopsFS setups)")
         print("setups (pretty name or slug):")
         for name in SETUPS:
             print(f"  {setup_slug(name):20s} {name}")
         return 0
+    if args.scenario == "elastic-compare":
+        return _chaos_elastic_compare(args)
     if args.scenario not in SCENARIOS:
         print(
             f"unknown scenario {args.scenario!r}; see `python -m repro chaos list`",
@@ -317,13 +321,19 @@ def _cmd_chaos(args) -> int:
     except ReproError as exc:
         print(f"{exc}; see `python -m repro chaos list`", file=sys.stderr)
         return 2
+    scenario = SCENARIOS[args.scenario]
+    try:
+        scenario = _apply_elastic_overrides(scenario, args)
+    except ReproError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
     obs = None
     if args.trace:
         from .obs import ObsContext
 
         obs = ObsContext()
     result = run_scenario(
-        args.scenario, setup=setup, num_servers=args.servers, seed=args.seed, obs=obs
+        scenario, setup=setup, num_servers=args.servers, seed=args.seed, obs=obs
     )
     print(result.render())
     if args.json:
@@ -336,6 +346,74 @@ def _cmd_chaos(args) -> int:
         faults = [s for s in obs.tracer.spans if s.name == "chaos.fault"]
         print(f"traced: {len(obs.tracer.spans)} spans ({len(faults)} chaos.fault)")
     return 0 if result.all_green else 1
+
+
+def _apply_elastic_overrides(scenario, args):
+    """Rebuild a scenario with the CLI's autoscaler overrides applied."""
+    import dataclasses
+
+    from .errors import ReproError
+
+    overrides = {}
+    if getattr(args, "autoscale_min", None) is not None:
+        overrides["min_nns_per_az"] = args.autoscale_min
+    if getattr(args, "autoscale_max", None) is not None:
+        overrides["max_nns_per_az"] = args.autoscale_max
+    if getattr(args, "autoscale_cooldown", None) is not None:
+        overrides["cooldown_ms"] = args.autoscale_cooldown
+    if getattr(args, "membership_refresh", None) is not None:
+        overrides["membership_refresh_ms"] = args.membership_refresh
+    if not overrides:
+        return scenario
+    if scenario.elastic is None:
+        raise ReproError(
+            f"{scenario.name} is not an elastic scenario; autoscaler flags "
+            f"only apply to scenarios with runtime NN membership"
+        )
+    return dataclasses.replace(
+        scenario, elastic=dataclasses.replace(scenario.elastic, **overrides)
+    )
+
+
+def _chaos_elastic_compare(args) -> int:
+    """Fixed-pool vs autoscaled comparison artifact (``chaos elastic-compare``)."""
+    from .chaos import resolve_setup, run_elastic_comparison
+    from .errors import ReproError
+
+    try:
+        setup = resolve_setup(args.setup)
+    except ReproError as exc:
+        print(f"{exc}; see `python -m repro chaos list`", file=sys.stderr)
+        return 2
+    # 6 NNs (2/AZ on 3-AZ setups) leaves the autoscaler real headroom to
+    # shed; the stock --servers default of 3 is already at the floor.
+    servers = args.servers if args.servers != 3 else 6
+    try:
+        out = run_elastic_comparison(
+            setup=setup, num_servers=servers, seed=args.seed
+        )
+    except ReproError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    print(f"elastic comparison on {out['setup']} "
+          f"({servers} NNs, seed {args.seed}):")
+    for key, leg in out["legs"].items():
+        el = leg["elastic"]
+        print(f"  {key:<11} completed={leg['completed']:<6} "
+              f"nn_seconds={el['nn_seconds_provisioned']:.3f}  "
+              f"ops/NN-s={el['ops_per_nn_second']:.1f}  "
+              f"pool {el['pool_size_peak']}->{el['pool_size_final']}  "
+              f"green={leg['all_green']}")
+    gain = out.get("cost_efficiency_gain")
+    if gain is not None:
+        print(f"  cost-normalized throughput gain: {gain:.2f}x")
+    if args.json:
+        import json
+
+        with open(args.json, "w") as fh:
+            json.dump(out, fh, indent=2)
+        print(f"\nwrote {args.json}")
+    return 0 if all(leg["all_green"] for leg in out["legs"].values()) else 1
 
 
 def _cmd_monitor(args) -> int:
@@ -488,6 +566,15 @@ def main(argv=None) -> int:
     chaos.add_argument("--json", default=None, metavar="PATH",
                        help="write the full run result (timeline, trace, "
                             "verdicts) as JSON")
+    chaos.add_argument("--autoscale-min", type=int, default=None, metavar="N",
+                       help="elastic scenarios: min NNs per AZ the autoscaler keeps")
+    chaos.add_argument("--autoscale-max", type=int, default=None, metavar="N",
+                       help="elastic scenarios: max NNs per AZ the autoscaler adds")
+    chaos.add_argument("--autoscale-cooldown", type=float, default=None,
+                       metavar="MS", help="elastic scenarios: ms between scale actions")
+    chaos.add_argument("--membership-refresh", type=float, default=None,
+                       metavar="MS",
+                       help="elastic scenarios: client membership refresh period")
     chaos.add_argument("--trace", action="store_true",
                        help="attach the tracer (dispatch hash must not change)")
     chaos.set_defaults(func=_cmd_chaos)

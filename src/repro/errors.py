@@ -26,6 +26,7 @@ __all__ = [
     "PlacementError",
     "DeadlineExceededError",
     "ServerBusyError",
+    "ServerDrainingError",
 ]
 
 
@@ -135,3 +136,13 @@ class DeadlineExceededError(FsError):
 
 class ServerBusyError(FsError):
     """Namenode admission control shed the request; retry after backoff."""
+
+
+class ServerDrainingError(ServerBusyError):
+    """The namenode is draining out of the pool; pick another server now.
+
+    Unlike plain overload shedding, a drain never clears on its own —
+    backing off and retrying the same server is wasted work, so clients
+    drop it from their local view immediately instead of waiting for the
+    next membership refresh.
+    """

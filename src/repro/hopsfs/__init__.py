@@ -11,6 +11,13 @@ from .blocks import BlockManager, PlacementPolicy, choose_targets
 from .client import HopsFsClient
 from .config import HopsFsConfig
 from .datanode import BlockStoreDatanode
+from .elastic import (
+    Autoscaler,
+    ElasticConfig,
+    ProvisionRecord,
+    ReconfigEvent,
+    elastic_summary,
+)
 from .filesystem import HopsFsDeployment, build_hopsfs
 from .groupcommit import (
     AsyncCommitConfig,
@@ -41,6 +48,11 @@ __all__ = [
     "HopsFsClient",
     "HopsFsConfig",
     "BlockStoreDatanode",
+    "Autoscaler",
+    "ElasticConfig",
+    "ProvisionRecord",
+    "ReconfigEvent",
+    "elastic_summary",
     "HopsFsDeployment",
     "build_hopsfs",
     "AsyncCommitConfig",

@@ -28,6 +28,7 @@ from ..errors import (
     NoNamenodeError,
     RpcTimeoutError,
     ServerBusyError,
+    ServerDrainingError,
 )
 from ..net.network import Network
 from ..sim import Environment
@@ -56,6 +57,7 @@ class HopsFsClient:
         robust: Optional[RobustConfig] = None,
         client_id: Optional[str] = None,
         retry_rng=None,
+        membership_refresh_ms: Optional[float] = None,
     ):
         self.env = env
         self.network = network
@@ -87,7 +89,21 @@ class HopsFsClient:
         self._pending_horizons: set[int] = set()
         self._op_seq = itertools.count(1)
         self._breakers: dict[NodeAddress, CircuitBreaker] = {}
+        # Servers that bounced us with ServerDrainingError: skipped by
+        # selection and membership refresh until they leave the advertised
+        # view for good (the view still lists them while they drain).
+        self._draining_nns: set[NodeAddress] = set()
         network.register(addr)
+        # Elastic serving tier (opt-in): periodically swap the static
+        # bootstrap list for the leader-maintained membership view, so the
+        # client tracks NNs joining and leaving the pool.  None (the
+        # default) spawns nothing — legacy schedules are untouched.
+        self.membership_refresh_ms = membership_refresh_ms
+        self.membership_refreshes = 0
+        if membership_refresh_ms is not None:
+            env.process(
+                self._membership_loop(), name=f"{addr}:membership"
+            )
 
     # ------------------------------------------------------- NN selection
     def _choice(self, seq):
@@ -117,6 +133,79 @@ class HopsFsClient:
         if self.robust is not None and nn is not None:
             if self._breaker(nn).record_failure(self.env.now):
                 self._count("client.breaker_trips")
+
+    def _membership_loop(self):
+        env = self.env
+        while True:
+            yield env.timeout(self.membership_refresh_ms)
+            yield from self._refresh_membership()
+
+    def _refresh_membership(self):
+        """Generator: one membership-refresh round against any live NN.
+
+        On success the active view *replaces* the bootstrap list, and all
+        per-NN client state keyed by address — circuit breakers, the sticky
+        current NN, and thereby the hedge-candidate set (which is drawn
+        from ``namenode_addrs``) — is dropped for NNs no longer in the
+        view, so a decommissioned NN can never be picked as a hedge target
+        or leak breaker entries.
+        """
+        robust = self.robust
+        candidates = [] if self.current_nn is None else [self.current_nn]
+        candidates += [nn for nn in self.namenode_addrs if nn not in candidates]
+        for nn in candidates:
+            if robust is not None and self._breaker_open(nn):
+                continue
+            try:
+                active = yield self.network.call(
+                    self.addr, nn, "get_active_nns", size=self.request_bytes,
+                    timeout_ms=(
+                        robust.op_timeout_ms if robust is not None else None
+                    ),
+                )
+            except HostUnreachableError:
+                continue
+            except RpcTimeoutError:
+                self.timeouts += 1
+                self._count("client.timeouts")
+                self._record_nn_failure(nn)
+                continue
+            if active:  # empty ⇒ election not converged: keep the old view
+                self._apply_membership(active)
+            return
+        # Every candidate unreachable this round: retry next period.
+
+    def _discard_namenode(self, nn: Optional[NodeAddress]) -> None:
+        """Drop one server from the local view (it told us it is leaving).
+
+        The drop is sticky: the draining server stays in the advertised
+        membership view until its drain finishes, so without the tombstone
+        the next refresh or discovery round would re-add it and we would
+        bounce off it again.
+        """
+        if nn is None:
+            return
+        self._draining_nns.add(nn)
+        self.namenode_addrs = [a for a in self.namenode_addrs if a != nn]
+        self._breakers.pop(nn, None)
+        if self.current_nn == nn:
+            self.current_nn = None
+
+    def _apply_membership(self, active) -> None:
+        view = [entry[1] for entry in active]
+        # Draining servers gone from the view are gone for good (handles
+        # are never reused); the ones still advertised stay tombstoned.
+        self._draining_nns.intersection_update(view)
+        addrs = [a for a in view if a not in self._draining_nns]
+        self.namenode_addrs = addrs
+        current = set(addrs)
+        for nn in list(self._breakers):
+            if nn not in current:
+                del self._breakers[nn]
+        if self.current_nn is not None and self.current_nn not in current:
+            self.current_nn = None
+        self.membership_refreshes += 1
+        self._count("client.membership_refresh")
 
     def _pick_namenode(self, deadline: Optional[Deadline] = None):
         """Fetch the active-NN list from any live NN, then apply the policy.
@@ -170,6 +259,10 @@ class HopsFsClient:
         if not active:
             # Election has not yet converged; fall back to the static list.
             active = [(i, nn, 0) for i, nn in enumerate(bootstrap)]
+        if self._draining_nns:
+            undrained = [a for a in active if a[1] not in self._draining_nns]
+            if undrained:
+                active = undrained
         if robust is not None:
             closed = [a for a in active if not self._breaker_open(a[1])]
             if closed:
@@ -304,6 +397,21 @@ class HopsFsClient:
                     last_error = exc
                     self._record_nn_failure(self.current_nn)
                     self._fail_over(state)
+                except ServerDrainingError as exc:
+                    # Operator-ordered drain, not overload: the server will
+                    # never take this op, so drop it from the local view at
+                    # once (membership refresh would do it ~a period later)
+                    # and go straight at a peer without backing off.
+                    last_error = exc
+                    self._count("client.drain_redirects")
+                    self._discard_namenode(self.current_nn)
+                    attempt += 1
+                    if attempt > robust.retry.max_retries:
+                        raise NoNamenodeError(
+                            f"{op.value}: retry budget exhausted "
+                            f"({robust.retry.max_retries} retries)"
+                        ) from last_error
+                    continue
                 except ServerBusyError as exc:
                     # Shed by admission control: honor it with backoff and
                     # spread the retry over the other servers.

@@ -7,6 +7,7 @@ from typing import Optional
 
 from ..errors import ConfigError
 from ..types import OpType
+from .elastic import ElasticConfig
 from .groupcommit import AsyncCommitConfig
 from .robust import RobustConfig
 
@@ -49,6 +50,10 @@ class HopsFsConfig:
     # horizon).  None = synchronous commit path, bit-identical to the
     # pinned golden schedules; experiments and chaos targets opt in.
     async_commit: Optional[AsyncCommitConfig] = None
+    # Elastic serving tier (runtime add/decommission, client membership
+    # refresh, load-driven autoscaler).  None = fixed pool, bit-identical
+    # to the pinned golden schedules; the churn scenarios opt in.
+    elastic: Optional[ElasticConfig] = None
 
     def __post_init__(self) -> None:
         if self.nn_cores < 1:

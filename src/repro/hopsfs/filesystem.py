@@ -22,6 +22,7 @@ from .blocks import PlacementPolicy
 from .client import HopsFsClient
 from .config import HopsFsConfig
 from .datanode import BlockStoreDatanode
+from .elastic import Autoscaler, ElasticConfig, ProvisionRecord, ReconfigEvent
 from .groupcommit import GroupCommitLedger
 from .metadata import IdGenerator, define_fs_schema
 from .namenode import Namenode
@@ -51,8 +52,21 @@ class HopsFsDeployment:
     # ledger the durability-horizon invariant audits.  None on the
     # synchronous path.
     group_ledger: Optional[GroupCommitLedger] = None
+    # Elastic serving tier (config.elastic set): the autoscaler process,
+    # the reconfiguration log (ReconfigEvent rows the artifact reports),
+    # per-NN provisioned intervals (NN·second cost accounting), and the
+    # addresses legitimately removed from the pool — decommissioned
+    # (graceful) vs preempted (spot kill) — which the chaos target and the
+    # SLO liveness exemptions consult.
+    autoscaler: Optional[Autoscaler] = None
+    reconfig_log: list = field(default_factory=list)
+    provision_log: list = field(default_factory=list)
+    decommissioned: set = field(default_factory=set)
+    preempted: set = field(default_factory=set)
     _client_ids: itertools.count = field(default_factory=lambda: itertools.count(1))
     _client_az_cycle: Optional[itertools.cycle] = None
+    _nn_ids: Optional[itertools.count] = None
+    _election_enabled: bool = True
 
     @property
     def topology(self):
@@ -86,6 +100,11 @@ class HopsFsDeployment:
                 if self.config.robust is not None
                 else None
             ),
+            membership_refresh_ms=(
+                self.config.elastic.membership_refresh_ms
+                if self.config.elastic is not None
+                else None
+            ),
         )
 
     def leader_namenode(self) -> Optional[Namenode]:
@@ -103,6 +122,204 @@ class HopsFsDeployment:
         """
         while any(nn.running and nn.election.rounds < 2 for nn in self.namenodes):
             yield self.env.timeout(1.0)
+
+    # ----------------------------------------------------- elastic lifecycle
+    @property
+    def elastic(self) -> Optional[ElasticConfig]:
+        return self.config.elastic
+
+    def serving_namenodes(self) -> list[Namenode]:
+        """NNs currently admitting work (running and not draining)."""
+        return [nn for nn in self.namenodes if nn.running and not nn.draining]
+
+    def add_namenode(
+        self, az: Optional[AzId] = None, reason: str = "manual"
+    ) -> Namenode:
+        """Provision a new NN into the running pool (stateless: no data moves).
+
+        The new NN registers a fresh host, joins the election (peers see it
+        on their next scan), and starts admitting as soon as clients learn
+        of it via membership refresh.  Block datanodes add it to their
+        heartbeat fan-out so its block manager learns DN liveness within
+        one heartbeat interval.
+        """
+        if self._nn_ids is None:
+            self._nn_ids = itertools.count(
+                max((nn.nn_id for nn in self.namenodes), default=0) + 1
+            )
+        if az is None:
+            counts = {a: 0 for a in self.azs}
+            for nn in self.serving_namenodes():
+                counts[nn.az] = counts.get(nn.az, 0) + 1
+            az = min(counts, key=lambda a: (counts[a], a))
+        index = next(self._nn_ids)
+        addr = NodeAddress(NodeKind.NAMENODE, index)
+        self.topology.add_host(addr, az=az, cores=self.config.nn_cores)
+        nn = Namenode(
+            self.env,
+            self.network,
+            self.ndb,
+            self.config,
+            addr,
+            az,
+            nn_id=index,
+            ids=self.ids,
+            placement_policy=(
+                PlacementPolicy.AZ_AWARE if self.az_aware else PlacementPolicy.DEFAULT
+            ),
+        )
+        nn.mutation_ledger = self.mutation_ledger
+        if self.group_ledger is not None:
+            nn.attach_group_commit(self.group_ledger)
+        self.namenodes.append(nn)
+        self.provision_log.append(
+            ProvisionRecord(index, str(addr), az, start_ms=self.env.now)
+        )
+        for dn in self.block_datanodes:
+            dn.namenode_addrs.append(addr)
+        nn.start(election=self._election_enabled)
+        event = ReconfigEvent(
+            "add", index, str(addr), az, decided_ms=self.env.now, detail=reason
+        )
+        self.reconfig_log.append(event)
+        event.completed_ms = self.env.now
+        self._count("elastic.add")
+        self._watch_visibility(nn, event, joining=True)
+        return nn
+
+    def decommission_namenode(self, nn, reason: str = "manual"):
+        """Generator: gracefully drain an NN out of the pool.
+
+        Stop admitting → finish (or shed after the grace) in-flight ops →
+        flush any open group-commit batch to a real commit/abort → delete
+        the leader row so the membership view converges immediately →
+        shut down.  Nothing the NN acked is left in doubt; the
+        drained-NN-ack invariant audits exactly that.
+        """
+        nn = self._resolve(nn)
+        if nn is None or not nn.running or nn.addr in self.decommissioned:
+            return
+        env = self.env
+        cfg = self.config.elastic or ElasticConfig()
+        event = ReconfigEvent(
+            "decommission", nn.nn_id, str(nn.addr), nn.az,
+            decided_ms=env.now, detail=reason,
+        )
+        self.reconfig_log.append(event)
+        self._count("elastic.decommission")
+        # Flag the retirement to the SLO engine *at decision time*: the
+        # NN's per-server series goes quiet from here on, and the liveness
+        # floor must know the silence is planned before it starts burning.
+        self._mark_retired(nn)
+        lost_before = (
+            self.group_ledger.lost_acks if self.group_ledger is not None else 0
+        )
+        forced = yield from nn.drain(
+            grace_ms=cfg.drain_grace_ms, poll_ms=cfg.drain_poll_ms
+        )
+        yield from nn.election.deregister()
+        nn.shutdown()
+        event.forced_shutdown = bool(forced)
+        event.lost_acks_during_drain = (
+            (self.group_ledger.lost_acks - lost_before)
+            if self.group_ledger is not None
+            else 0
+        )
+        self.decommissioned.add(nn.addr)
+        self._end_provision(nn)
+        event.completed_ms = env.now
+        self._watch_visibility(nn, event, joining=False)
+
+    def preempt_namenode(self, nn, warning_ms: float = 5.0):
+        """Generator: spot-style kill — a short warning, then the plug.
+
+        During the warning the NN drains best-effort (stops admitting,
+        hurries its open batch); whatever has not settled when the window
+        closes is lost exactly as a crash would lose it.  Unlike a
+        decommission the leader row is not deregistered — peers drop the
+        NN only after the liveness horizon expires, and the SLO monitor is
+        expected to *detect* the preemption (its ground-truth window).
+        """
+        nn = self._resolve(nn)
+        if nn is None or not nn.running:
+            return
+        env = self.env
+        event = ReconfigEvent(
+            "preempt", nn.nn_id, str(nn.addr), nn.az,
+            decided_ms=env.now, detail=f"warning={warning_ms}ms",
+        )
+        self.reconfig_log.append(event)
+        self._count("elastic.preempt")
+        drain = env.process(
+            nn.drain(grace_ms=warning_ms, poll_ms=1.0),
+            name=f"{nn.addr}:preempt-drain",
+        )
+        yield env.any_of([drain, env.timeout(warning_ms)])
+        if nn.running:
+            nn.shutdown()
+        self.preempted.add(nn.addr)
+        self._end_provision(nn)
+        event.completed_ms = env.now
+        self._watch_visibility(nn, event, joining=False)
+
+    def _resolve(self, nn) -> Optional[Namenode]:
+        if isinstance(nn, Namenode):
+            return nn
+        for cand in self.namenodes:
+            if cand.addr == nn or str(cand.addr) == str(nn):
+                return cand
+        return None
+
+    def _end_provision(self, nn) -> None:
+        for rec in self.provision_log:
+            if rec.nn_id == nn.nn_id and rec.end_ms is None:
+                rec.end_ms = self.env.now
+        for dn in self.block_datanodes:
+            if nn.addr in dn.namenode_addrs:
+                dn.namenode_addrs.remove(nn.addr)
+
+    def _watch_visibility(self, nn, event: ReconfigEvent, joining: bool) -> None:
+        """Poll peers' membership views until the change is client-visible."""
+        cfg = self.config.elastic or ElasticConfig()
+
+        def watch():
+            deadline = self.env.now + cfg.visibility_timeout_ms
+            while self.env.now < deadline:
+                peers = [
+                    p for p in self.namenodes
+                    if p.running and p is not nn and p.election.rounds > 0
+                ]
+                if peers:
+                    seen = [
+                        any(row[0] == nn.nn_id for row in p.election.active)
+                        for p in peers
+                    ]
+                    if joining and any(seen):
+                        # In ≥1 peer's view: a client refresh can route here.
+                        event.visible_ms = self.env.now
+                        return
+                    if not joining and not any(seen):
+                        # Out of every view: no refresh can route here.
+                        event.visible_ms = self.env.now
+                        return
+                elif not joining:
+                    event.visible_ms = self.env.now
+                    return
+                yield self.env.timeout(cfg.visibility_poll_ms)
+
+        self.env.process(watch(), name=f"{nn.addr}:reconfig-watch")
+
+    def _mark_retired(self, nn) -> None:
+        obs = self.env.obs
+        if obs is not None and obs.timeseries is not None:
+            obs.timeseries.inc(
+                f"component.retired.nn.handle.{nn.addr}", self.env.now
+            )
+
+    def _count(self, name: str) -> None:
+        obs = self.env.obs
+        if obs is not None:
+            obs.registry.counter(name).inc()
 
 
 def build_hopsfs(
@@ -232,7 +449,7 @@ def build_hopsfs(
     for dn in block_datanodes:
         dn.start()
 
-    return HopsFsDeployment(
+    deployment = HopsFsDeployment(
         env=env,
         network=network,
         ndb=ndb,
@@ -245,4 +462,17 @@ def build_hopsfs(
         rng=rng,
         mutation_ledger=mutation_ledger,
         group_ledger=group_ledger,
+        _election_enabled=election,
     )
+    # Seed the NN·second cost accounting with the initial pool.
+    for nn in namenodes:
+        deployment.provision_log.append(
+            ProvisionRecord(nn.nn_id, str(nn.addr), nn.az, start_ms=env.now)
+        )
+    # Elastic serving tier (opt-in): the load-driven autoscaler process.
+    # With config.elastic None nothing here runs — the legacy fixed pool
+    # stays bit-identical to the pinned golden schedules.
+    if config.elastic is not None and config.elastic.autoscale:
+        deployment.autoscaler = Autoscaler(deployment, config.elastic)
+        deployment.autoscaler.start()
+    return deployment

@@ -436,6 +436,32 @@ class GroupCommitter:
         for ev in waiters:
             ev.succeed()
 
+    # ----------------------------------------------------- graceful drain
+    def drain_gracefully(self):
+        """Generator: flush everything pending and wait for it to settle.
+
+        The graceful-decommission counterpart of :meth:`on_crash`: instead
+        of declaring open batches "lost", every queued and gathering op
+        runs to a real commit or abort, so an acked op ends the drain
+        confirmed durable and a failed one was replied-to with its error —
+        nothing the NN acked is ever in doubt.  The caller has already
+        stopped admission, so no new work arrives while we wait.
+        """
+        while self.queue or self._gather is not None or self._inflight:
+            # Cut the linger short: a draining NN has no reason to wait for
+            # more batch members that can no longer arrive.
+            self._flush_now = True
+            if self._wake is not None and not self._wake.triggered:
+                self._wake.succeed()
+            ev = self.env.event()
+            self._settle_waiters.append(ev)
+            yield ev
+
+    @property
+    def pending_batches(self) -> int:
+        """Batches not yet settled (gathering + flushing)."""
+        return len(self._inflight) + (1 if self._gather is not None else 0)
+
     # ------------------------------------------------------------- crash
     def on_crash(self) -> None:
         """The NN died: every un-settled batch's commit fate is ambiguous."""

@@ -35,6 +35,10 @@ class LeaderElectionService:
         # Latest membership view: [(nn_id, address, az)], sorted by id.
         self.active: list[tuple[int, object, int]] = []
         self.rounds = 0
+        # A retired NN (graceful decommission) stops heartbeating and deletes
+        # its leader row so the membership view converges without waiting for
+        # the liveness horizon to expire.
+        self.retired = False
         self._loop_proc = None
 
     @property
@@ -44,15 +48,47 @@ class LeaderElectionService:
     def start(self) -> None:
         # The loop exits lazily when the NN stops running; a restart must not
         # race a second election loop against one that has not yet noticed.
+        self.retired = False
         if self._loop_proc is not None and self._loop_proc.is_alive:
             return
         self._loop_proc = self.nn.env.process(
             self._loop(), name=f"{self.nn.addr}:election"
         )
 
+    def deregister(self):
+        """Leave the election: stop the loop, then delete our leader row.
+
+        Ordering matters: an in-flight round could re-write the row after a
+        premature delete, so we first mark ourselves retired, wait for the
+        heartbeat loop to observe that and exit, and only then delete.  Peers
+        drop us from their view on their next scan — immediately, rather
+        than after ``missed_rounds`` liveness-horizon periods as a crash
+        would require.
+        """
+        env = self.nn.env
+        self.retired = True
+        poll_ms = max(1.0, self.period_ms / 10.0)
+        while self._loop_proc is not None and self._loop_proc.is_alive:
+            yield env.timeout(poll_ms)
+
+        def body(txn):
+            yield from txn.delete(
+                LEADER_TABLE, self.nn.nn_id, partition_key=_LEADER_PARTITION
+            )
+
+        try:
+            yield from run_transaction(
+                self.nn.api, body, hint_table=LEADER_TABLE,
+                hint_key=_LEADER_PARTITION,
+            )
+        except (NdbError, TransactionAbortedError):
+            # Row delete is best-effort: a stale row ages out of the view
+            # via the liveness horizon anyway.
+            pass
+
     def _loop(self):
         env = self.nn.env
-        while self.nn.running:
+        while self.nn.running and not self.retired:
             try:
                 yield from self._round()
             except (NdbError, TransactionAbortedError):

@@ -18,6 +18,7 @@ from ..errors import (
     NdbError,
     SafeModeError,
     ServerBusyError,
+    ServerDrainingError,
     TransactionAbortedError,
 )
 from ..ndb.client import run_transaction
@@ -111,6 +112,12 @@ class Namenode:
         self.ops_failed = 0
         self.ops_shed = 0
         self._inflight = 0
+        # Graceful decommission: a draining NN stops admitting new fs ops
+        # (they bounce with ServerDrainingError) but finishes what it holds.
+        # Rejections are counted separately from ops_shed so the autoscaler's
+        # admission-pressure signal is not polluted by its own scale-downs.
+        self.draining = False
+        self.ops_drain_rejected = 0
         # Exactly-once replay state (robust mode only): in-memory LRU fast
         # path over the durable retry_cache NDB rows.
         self.retry_cache: Optional[RetryCache] = (
@@ -136,6 +143,7 @@ class Namenode:
         if self.running:
             return
         self.running = True
+        self.draining = False
         # The dispatch loop runs forever (it drops mail while down), so a
         # restart after a crash must not spawn a second mailbox consumer.
         if self._dispatch_proc is None or not self._dispatch_proc.is_alive:
@@ -171,6 +179,34 @@ class Namenode:
         self.network.set_up(self.addr)
         self.start(election=self._election_enabled)
 
+    def drain(self, grace_ms: float = 50.0, poll_ms: float = 1.0):
+        """Generator: stop admitting, finish in-flight work, flush batches.
+
+        The first half of a graceful decommission (the deployment's
+        ``decommission_namenode`` follows with leader-row deregistration
+        and shutdown).  ``grace_ms`` bounds the wait for in-flight ops —
+        they essentially always finish (each replies to its client), so
+        the bound is a hang guard, not a kill switch.  Returns True if the
+        grace expired with ops still in flight.
+        """
+        env = self.env
+        self.draining = True
+        deadline = env.now + grace_ms
+        while self._inflight > 0 and env.now < deadline:
+            yield env.timeout(poll_ms)
+        forced = self._inflight > 0
+        if self.committer is not None:
+            # Unlike on_crash, every open group-commit batch settles as
+            # committed or aborted — never "lost" — so nothing this NN
+            # acked is left in doubt.
+            yield from self.committer.drain_gracefully()
+        return forced
+
+    @property
+    def inflight(self) -> int:
+        """Currently executing fs ops (admission + autoscaler signal)."""
+        return self._inflight
+
     @property
     def is_leader(self) -> bool:
         return self.election.is_leader
@@ -198,8 +234,22 @@ class Namenode:
                 continue
             if msg.kind == "fs_op":
                 robust = self.config.robust
-                if robust is None:
-                    self.env.process(self._fs_op(msg), name=f"{self.addr}:fs_op")
+                if self.draining:
+                    # Graceful drain: bounce new work fast so robust clients
+                    # fail over; in-flight ops below keep running to
+                    # completion.  Membership queries stay served — peers
+                    # still list us until the leader row is dropped.
+                    self.ops_drain_rejected += 1
+                    if self.env.obs is not None:
+                        self.env.obs.registry.counter("nn.drain_rejected").inc()
+                    self.network.reply(
+                        msg,
+                        ServerDrainingError(f"{self.addr} draining; pick another NN"),
+                        ok=False,
+                    )
+                elif robust is None:
+                    self._inflight += 1
+                    self.env.process(self._fs_op_guarded(msg), name=f"{self.addr}:fs_op")
                 elif self._inflight >= robust.nn_max_inflight:
                     # Admission control: shed before touching the handler
                     # pool so an overloaded NN answers fast instead of

@@ -65,12 +65,16 @@ BASELINE_SCENARIO = Scenario(
 )
 
 # Fault actions that open a ground-truth window, mapped to the actions
-# that close it.  recover_all closes everything.
+# that close it.  recover_all closes everything.  A spot preemption IS a
+# fault the monitor must catch (unlike a graceful decommission, which
+# emits a retirement signal and is exempt from liveness floors); its
+# window stays open until the node restarts or the run ends.
 _WINDOW_STARTS = {
     "crash_node": ("recover_node", "recover_all"),
     "az_outage": ("az_heal", "recover_all"),
     "partition": ("heal", "recover_all"),
     "degrade_link": ("restore_links", "recover_all"),
+    "preempt_namenode": ("recover_node", "recover_all"),
 }
 
 
@@ -429,7 +433,10 @@ def monitor_slos(setup: str, num_servers: int = 3) -> List[SloSpec]:
     The aggregate :func:`~repro.obs.slo.default_slos` plus auto-derived
     per-AZ client floors and per-server (NN/MDS) liveness floors — the
     latter two catch faults a fan-out or failover path hides from the
-    aggregate client series.
+    aggregate client series.  Liveness floors cover the *initial* pool;
+    a gracefully decommissioned server retires its floor in-band (see
+    :meth:`SloEngine._apply_retirements`), while a preempted server's
+    floor keeps burning — that silence is the detection signal.
     """
     from ..experiments.setups import SETUPS
     spec = SETUPS[setup]

@@ -139,7 +139,7 @@ class _SpecState:
 
     __slots__ = ("spec", "ring", "calibrating", "calib_count", "calib_ops",
                  "calib_total_ms", "calib_p99", "baseline_ops", "baseline_mean_ms",
-                 "latency_threshold_ms", "active")
+                 "latency_threshold_ms", "active", "retired")
 
     def __init__(self, spec: SloSpec):
         self.spec = spec
@@ -154,6 +154,7 @@ class _SpecState:
         self.baseline_mean_ms = 0.0
         self.latency_threshold_ms = spec.latency_floor_ms
         self.active: Optional[Alert] = None
+        self.retired = False
 
     def burn(self, span: int) -> float:
         rows = list(self.ring)[-span:]
@@ -203,8 +204,41 @@ class SloEngine:
         if self.horizon_ms is not None and end_ms > self.horizon_ms:
             self._resolve_all(index, end_ms, reason="horizon")
             return
+        self._apply_retirements(index, end_ms, counters)
         for state in self._states.values():
+            if state.retired:
+                continue
             self._eval(state, index, start_ms, end_ms, ops.get(state.spec.series))
+
+    def _apply_retirements(self, index: int, end_ms: float,
+                           counters: dict) -> None:
+        """Exempt legitimately retired components from their floors.
+
+        A graceful decommission emits ``component.retired.<series>`` (a
+        windowed counter) at *decision* time — before the drained server
+        goes silent — so its liveness floor stops evaluating instead of
+        burning on silence that an operator ordered.  Preemptions emit no
+        such signal: a spot kill is a fault the monitor must still catch.
+        Retirement is permanent for the run (the handle is never reused).
+        """
+        prefix = "component.retired."
+        retired_series = {name[len(prefix):]
+                          for name in counters if name.startswith(prefix)}
+        if not retired_series:
+            return
+        for state in self._states.values():
+            if state.retired or state.spec.series not in retired_series:
+                continue
+            state.retired = True
+            alert = state.active
+            if alert is not None:
+                alert.resolved_index = index
+                alert.resolved_ms = end_ms
+                alert.detail += " (resolved:retired)"
+                state.active = None
+                self._emit("slo.alert.resolve", alert, end_ms)
+            if self.obs is not None:
+                self.obs.registry.counter("slo.spec.retired").inc()
 
     def _eval(self, state: _SpecState, index: int, start_ms: float,
               end_ms: float, window) -> None:

@@ -42,6 +42,8 @@ def test_catalogue_green_on_healthy_cluster(ready_target):
         "block-az-coverage",
         "exactly-once",
         "durability-horizon",
+        "drained-ack-integrity",
+        "membership-convergence",
         "deadline-compliance",
     ]
     assert all(v.ok for v in verdicts), [str(v) for v in verdicts]

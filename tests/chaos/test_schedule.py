@@ -79,6 +79,9 @@ def test_builders_cover_every_action():
         .degrade_link(7, 1, 3, extra_ms=2.0)
         .restore_links(8)
         .recover_all(9)
+        .add_namenode(10, az=2)
+        .decommission_namenode(11, "nn1")
+        .preempt_namenode(12, "nn2", warning_ms=5.0)
     )
     assert {e.action for e in schedule} == ACTIONS
 

@@ -19,6 +19,7 @@ def make_fs(
     election_period_ms=50.0,
     robust=None,
     async_commit=None,
+    elastic=None,
     **ndb_kwargs,
 ):
     """A small, fast deployment for functional tests."""
@@ -30,6 +31,7 @@ def make_fs(
         op_cost_mutation_ms=0.001,
         robust=robust,
         async_commit=async_commit,
+        elastic=elastic,
     )
     ndb_config = NdbConfig(
         num_datanodes=num_ndb_datanodes,
