@@ -22,7 +22,12 @@ import pathlib
 
 import pytest
 
-from repro.experiments.perf import async_point, fig5_reference_point, kernel_microbench
+from repro.experiments.perf import (
+    async_point,
+    fig5_reference_point,
+    kernel_microbench,
+    listing_point,
+)
 
 BENCH_PATH = pathlib.Path(__file__).parent.parent / "BENCH_kernel.json"
 
@@ -113,6 +118,38 @@ def test_async_point_has_not_regressed():
         f"vs {committed['async']['throughput_ops_s']:,} committed"
     )
     assert live["async_speedup"] > 1.0, live
+
+
+def test_listing_point_recorded_win():
+    """The committed record must show the pre-materialized listing cache
+    clearing its acceptance bar on the Spotify mix: >= 1.3x throughput
+    over the legacy transactional read path."""
+    report = _committed()
+    commit = report.get("listing_point")
+    assert commit is not None, (
+        "BENCH_kernel.json has no listing_point; re-record with `python -m repro perf`"
+    )
+    assert commit["listing_speedup"] >= 1.3, commit
+
+
+def test_listing_point_has_not_regressed():
+    """The same 20% regression rule as the sync points, applied to the
+    cache-on Spotify-mix throughput point."""
+    report = _committed()
+    _require_scale_one()
+    if "listing_point" not in report:
+        pytest.skip("no listing_point recorded; re-record BENCH_kernel.json")
+    committed = report["listing_point"]
+    live = listing_point()
+    # Simulated throughput is deterministic; the tolerance covers deliberate
+    # re-records on slightly different cache policies, not wall-clock noise.
+    assert live["on"]["throughput_ops_s"] >= (
+        REGRESSION_TOLERANCE * committed["on"]["throughput_ops_s"]
+    ), (
+        f"listing point regressed: {live['on']['throughput_ops_s']:,} ops/s live "
+        f"vs {committed['on']['throughput_ops_s']:,} committed"
+    )
+    assert live["listing_speedup"] > 1.0, live
 
 
 def test_live_fig5_speedup_vs_pre_pr_kernel():

@@ -25,6 +25,7 @@ __all__ = [
     "durability_horizon",
     "drained_ack_integrity",
     "membership_convergence",
+    "listing_consistency",
     "deadline_compliance",
     "ceph_namespace_integrity",
     "ceph_subtrees_served",
@@ -422,6 +423,62 @@ def membership_convergence(fs) -> InvariantVerdict:
     return InvariantVerdict("membership-convergence", not problems, detail)
 
 
+def listing_consistency(fs) -> InvariantVerdict:
+    """No live listing-cache entry diverges from committed NDB state.
+
+    Ground truth is rebuilt from the running NDB datanodes' fragment
+    stores (first fragment wins per pk — replica consistency is its own
+    invariant).  Every NN's *live* (non-expired) attr entry must equal the
+    committed row, and every live listing must equal the committed
+    directory's sorted children.  Entries past ``ttl_ms`` are exempt: the
+    cache never serves them.  Vacuously green when no NN carries a cache.
+    """
+    caches = [
+        (nn, nn.listing_cache)
+        for nn in fs.namenodes
+        if nn.listing_cache is not None
+    ]
+    if not caches:
+        return InvariantVerdict(
+            "listing-consistency", True, "n/a (listing cache off)"
+        )
+    truth: dict = {}
+    for dn in fs.ndb.datanodes.values():
+        if not dn.running:
+            continue
+        for pk, row in dn.store.iter_rows("inodes"):
+            truth.setdefault(pk, row)
+    children: dict = {}
+    for row in truth.values():
+        children.setdefault(row.parent_id, set()).add(row.name)
+    now = fs.env.now
+    problems = []
+    audited = 0
+    for nn, cache in caches:
+        for pk, row in cache.live_attrs(now):
+            audited += 1
+            committed = truth.get(pk)
+            if committed != row:
+                problems.append(
+                    f"{nn.addr} attr {pk}: cached {row!r} != committed "
+                    f"{committed!r}"
+                )
+        for dir_id, names in cache.live_listings(now):
+            audited += 1
+            expected = tuple(sorted(children.get(dir_id, ())))
+            if tuple(names) != expected:
+                problems.append(
+                    f"{nn.addr} listing dir {dir_id}: cached {list(names)} "
+                    f"!= committed {list(expected)}"
+                )
+    detail = (
+        "; ".join(problems[:5])
+        if problems
+        else f"{audited} live entries audited across {len(caches)} NNs"
+    )
+    return InvariantVerdict("listing-consistency", not problems, detail)
+
+
 def deadline_compliance(target) -> InvariantVerdict:
     """No op outlived its deadline by more than one hop (robust mode).
 
@@ -492,6 +549,7 @@ def verify_hopsfs(fs) -> list[InvariantVerdict]:
         durability_horizon(fs),
         drained_ack_integrity(fs),
         membership_convergence(fs),
+        listing_consistency(fs),
     ]
 
 

@@ -17,6 +17,7 @@ from typing import Callable, Optional
 from ..errors import ReproError
 from ..hopsfs.elastic import ElasticConfig, elastic_summary
 from ..hopsfs.groupcommit import AsyncCommitConfig
+from ..hopsfs.listcache import ListingCacheConfig
 from ..hopsfs.robust import RobustConfig
 from ..workloads.driver import ClosedLoopDriver
 from ..workloads.namespace import generate_namespace
@@ -62,6 +63,10 @@ class Scenario:
     # clients refresh membership from the leader view, and (when
     # ``autoscale``) a load-driven autoscaler grows/shrinks the NN pool.
     elastic: Optional[ElasticConfig] = None
+    # Listing-cache scenarios opt HopsFS reads into the pre-materialized
+    # listing/attr cache; the listing-consistency invariant then audits
+    # every live cache entry against committed NDB state.
+    listing_cache: Optional[ListingCacheConfig] = None
 
 
 def _az_outage_schedule(target: ChaosTarget) -> FaultSchedule:
@@ -386,6 +391,7 @@ def run_scenario(
         robust=scenario.robust,
         async_commit=scenario.async_commit,
         elastic=scenario.elastic,
+        listing_cache=scenario.listing_cache,
     )
     env = target.env
     env.trace = []  # record every dispatched (when, priority, seq)

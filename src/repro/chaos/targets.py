@@ -23,6 +23,7 @@ from ..hopsfs import (
     AsyncCommitConfig,
     ElasticConfig,
     HopsFsConfig,
+    ListingCacheConfig,
     RobustConfig,
     build_hopsfs,
 )
@@ -370,6 +371,7 @@ def build_chaos_target(
     robust: "RobustConfig | None" = None,
     async_commit: "AsyncCommitConfig | None" = None,
     elastic: "ElasticConfig | None" = None,
+    listing_cache: "ListingCacheConfig | None" = None,
 ) -> ChaosTarget:
     """Build a chaos-tuned deployment of any of the nine setups.
 
@@ -409,6 +411,7 @@ def build_chaos_target(
                 robust=robust,
                 async_commit=async_commit,
                 elastic=elastic,
+                listing_cache=listing_cache,
             ),
             heartbeats=True,
             seed=seed,

@@ -74,8 +74,14 @@ def _cmd_point(args) -> int:
         if args.batch_ops is not None:
             kwargs["max_batch_ops"] = args.batch_ops
         async_commit = AsyncCommitConfig(**kwargs)
+    listing_cache = None
+    if args.listing_cache:
+        from .hopsfs.listcache import ListingCacheConfig
+
+        listing_cache = ListingCacheConfig()
     config = RunConfig(warmup_ms=args.warmup, window_ms=args.window,
-                       async_commit=async_commit)
+                       async_commit=async_commit,
+                       listing_cache=listing_cache)
     point = run_point(args.setup, args.servers, config=config, obs=obs)
     print(f"setup:          {point.setup}")
     print(f"servers:        {point.servers}")
@@ -83,6 +89,10 @@ def _cmd_point(args) -> int:
         print(f"commit path:    async group commit "
               f"(linger {async_commit.linger_ms}ms, "
               f"max {async_commit.max_batch_ops} ops/batch)")
+    if listing_cache is not None:
+        print(f"read path:      pre-materialized listing cache "
+              f"(ttl {listing_cache.ttl_ms}ms, "
+              f"hit cost {listing_cache.hit_cost_frac:.2f}x)")
     print(f"throughput:     {point.throughput_ops_s:,.0f} ops/s")
     print(f"avg latency:    {point.avg_latency_ms:.2f} ms")
     print(f"p50/p90/p99:    {point.p50_ms:.2f} / {point.p90_ms:.2f} / {point.p99_ms:.2f} ms")
@@ -195,6 +205,12 @@ def _cmd_perf(args) -> int:
           f"({commit['op']} on {commit['setup']}, "
           f"{commit['async_speedup']:.2f}x throughput, "
           f"{commit['async_latency_ratio']:.2f}x latency)")
+    listing = report["listing_point"]
+    print(f"listing pt:  {listing['on']['throughput_ops_s']:,.0f} ops/s cached vs "
+          f"{listing['off']['throughput_ops_s']:,.0f} transactional "
+          f"({listing['workload']} on {listing['setup']}, "
+          f"{listing['listing_speedup']:.2f}x throughput, "
+          f"{listing['listing_latency_ratio']:.2f}x latency)")
     print(f"peak RSS:    {report['peak_rss_mb']:.1f} MB "
           f"(peak shard RSS {point['peak_shard_rss_mb']:.1f} MB)")
     for key in ("microbench_speedup_vs_pre_pr", "fig5_speedup_vs_pre_pr"):
@@ -327,6 +343,14 @@ def _cmd_chaos(args) -> int:
     except ReproError as exc:
         print(str(exc), file=sys.stderr)
         return 2
+    if getattr(args, "listing_cache", False):
+        import dataclasses
+
+        from .hopsfs.listcache import ListingCacheConfig
+
+        scenario = dataclasses.replace(
+            scenario, listing_cache=ListingCacheConfig()
+        )
     obs = None
     if args.trace:
         from .obs import ObsContext
@@ -496,6 +520,10 @@ def main(argv=None) -> int:
     point.add_argument("--batch-ops", type=int, default=None, metavar="N",
                        help="async group-commit max ops per batch "
                             "(default 16; needs --async-commit)")
+    point.add_argument("--listing-cache", action="store_true",
+                       help="opt HopsFS setups into the pre-materialized "
+                            "listing/attr cache (changelog-invalidated reads "
+                            "served from NN memory); no-op on CephFS")
     point.set_defaults(func=_cmd_point)
 
     report = sub.add_parser(
@@ -575,6 +603,10 @@ def main(argv=None) -> int:
     chaos.add_argument("--membership-refresh", type=float, default=None,
                        metavar="MS",
                        help="elastic scenarios: client membership refresh period")
+    chaos.add_argument("--listing-cache", action="store_true",
+                       help="run the scenario with the pre-materialized "
+                            "listing cache on (the listing-consistency "
+                            "invariant then audits every live entry)")
     chaos.add_argument("--trace", action="store_true",
                        help="attach the tracer (dispatch hash must not change)")
     chaos.set_defaults(func=_cmd_chaos)

@@ -37,6 +37,7 @@ __all__ = [
     "fig5_reference_point",
     "scale_point",
     "async_point",
+    "listing_point",
     "run_perf",
     "REFERENCE_SETUP",
     "REFERENCE_SERVERS",
@@ -293,6 +294,57 @@ def async_point() -> dict:
     }
 
 
+def listing_point() -> dict:
+    """Cache-off vs cache-on Spotify mix on the reference setup.
+
+    The Spotify mix is ~95% reads, almost all of which the
+    pre-materialized listing cache can serve from NN memory (the
+    preloaded namespace's files are all small, so even ``readFile``
+    skips NDB).  Runs the mix at the default closed-loop client count
+    (NN-CPU saturation — the regime where skipping transaction setup
+    frees handler cores) twice, legacy transactional reads vs the cache,
+    and records both plus the ratios.  The CI perf gate watches the
+    throughput speedup.
+    """
+    from ..hopsfs.listcache import ListingCacheConfig
+
+    results = {}
+    for mode, cache in (("off", None), ("on", ListingCacheConfig())):
+        config = RunConfig(
+            warmup_ms=15.0,
+            window_ms=15.0,
+            listing_cache=cache,
+        )
+        point = run_point(
+            REFERENCE_SETUP,
+            REFERENCE_SERVERS,
+            workload="spotify",
+            config=config,
+        )
+        results[mode] = {
+            "throughput_ops_s": round(point.throughput_ops_s, 3),
+            "avg_latency_ms": round(point.avg_latency_ms, 6),
+            "p99_ms": round(point.p99_ms, 6),
+            "completed": point.completed,
+            "failed": point.failed,
+        }
+    off_tput = results["off"]["throughput_ops_s"]
+    return {
+        "setup": REFERENCE_SETUP,
+        "servers": REFERENCE_SERVERS,
+        "workload": "spotify",
+        "bench_scale": bench_scale(),
+        "off": results["off"],
+        "on": results["on"],
+        "listing_speedup": round(
+            results["on"]["throughput_ops_s"] / off_tput, 3
+        ) if off_tput else 0.0,
+        "listing_latency_ratio": round(
+            results["on"]["avg_latency_ms"] / results["off"]["avg_latency_ms"], 3
+        ) if results["off"]["avg_latency_ms"] else 0.0,
+    }
+
+
 def run_perf(out_path: Optional[str] = None, baseline: Optional[dict] = None) -> dict:
     """Run both measurements; optionally write ``out_path`` as JSON.
 
@@ -303,6 +355,7 @@ def run_perf(out_path: Optional[str] = None, baseline: Optional[dict] = None) ->
     fig5 = fig5_reference_point()
     point = scale_point()
     commit = async_point()
+    listing = listing_point()
     point["aggregate_speedup_vs_microbench"] = round(
         point["aggregate_events_per_sec"] / micro["events_per_sec"], 2
     )
@@ -311,6 +364,7 @@ def run_perf(out_path: Optional[str] = None, baseline: Optional[dict] = None) ->
         "fig5_point": fig5,
         "scale_point": point,
         "async_point": commit,
+        "listing_point": listing,
         "peak_rss_mb": round(_peak_rss_mb(), 1),
     }
     if baseline:

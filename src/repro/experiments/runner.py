@@ -57,6 +57,10 @@ class RunConfig:
     # AsyncCommitConfig); None keeps the synchronous legacy path.  CephFS
     # setups ignore it.
     async_commit: Optional[object] = None
+    # Opt HopsFS setups into the pre-materialized listing cache (a
+    # ListingCacheConfig); None keeps every read transactional.  CephFS
+    # setups ignore it.
+    listing_cache: Optional[object] = None
 
     def scaled(self) -> "RunConfig":
         scale = bench_scale()
@@ -117,7 +121,9 @@ def run_point(
     if isinstance(spec, str):
         spec = SETUPS[spec]
     config = (config or RunConfig()).scaled()
-    adapter = spec.build(num_servers, seed=config.seed, async_commit=config.async_commit)
+    adapter = spec.build(num_servers, seed=config.seed,
+                         async_commit=config.async_commit,
+                         listing_cache=config.listing_cache)
     env = adapter.env
     if obs is not None:
         from ..obs import register_deployment_metrics

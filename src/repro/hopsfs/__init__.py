@@ -26,6 +26,7 @@ from .groupcommit import (
     GroupCommitter,
 )
 from .leader import LeaderElectionService
+from .listcache import ListingCache, ListingCacheConfig
 from .metadata import (
     BLOCK_SIZE_BYTES,
     ROOT_INODE_ID,
@@ -60,6 +61,8 @@ __all__ = [
     "GroupCommitLedger",
     "GroupCommitter",
     "LeaderElectionService",
+    "ListingCache",
+    "ListingCacheConfig",
     "BLOCK_SIZE_BYTES",
     "ROOT_INODE_ID",
     "SMALL_FILE_MAX_BYTES",

@@ -9,6 +9,7 @@ from ..errors import ConfigError
 from ..types import OpType
 from .elastic import ElasticConfig
 from .groupcommit import AsyncCommitConfig
+from .listcache import ListingCacheConfig
 from .robust import RobustConfig
 
 __all__ = ["HopsFsConfig"]
@@ -54,6 +55,10 @@ class HopsFsConfig:
     # refresh, load-driven autoscaler).  None = fixed pool, bit-identical
     # to the pinned golden schedules; the churn scenarios opt in.
     elastic: Optional[ElasticConfig] = None
+    # Pre-materialized listing/attr cache with NDB-changelog invalidation.
+    # None = every read pays the full transaction, bit-identical to the
+    # pinned golden schedules; listing experiments and chaos runs opt in.
+    listing_cache: Optional[ListingCacheConfig] = None
 
     def __post_init__(self) -> None:
         if self.nn_cores < 1:

@@ -22,33 +22,72 @@ __all__ = ["DirCache"]
 class DirCache:
     """Maps ``(parent_id, name)`` to a directory's :class:`InodeRow`."""
 
-    def __init__(self, now: Callable[[], float], ttl_ms: float = 5000.0, max_entries: int = 100_000):
+    def __init__(
+        self,
+        now: Callable[[], float],
+        ttl_ms: float = 5000.0,
+        max_entries: int = 100_000,
+        env=None,
+    ):
         self._now = now
         self.ttl_ms = ttl_ms
         self.max_entries = max_entries
         self._entries: dict[tuple[int, str], tuple[float, InodeRow]] = {}
+        # Plain ints stay the source of truth (tests compare them as ints);
+        # the obs registry mirrors them as mergeable Counters when tracing
+        # is attached to the env.
         self.hits = 0
         self.misses = 0
+        self._env = env
+
+    def _count(self, name: str) -> None:
+        env = self._env
+        if env is not None and env.obs is not None:
+            env.obs.registry.counter(name).inc()
 
     def get(self, parent_id: int, name: str) -> Optional[InodeRow]:
         entry = self._entries.get((parent_id, name))
         if entry is None:
             self.misses += 1
+            self._count("nn.dircache.miss")
             return None
         cached_at, row = entry
         if self._now() - cached_at > self.ttl_ms:
             del self._entries[(parent_id, name)]
             self.misses += 1
+            self._count("nn.dircache.miss")
             return None
         self.hits += 1
+        self._count("nn.dircache.hit")
+        return row
+
+    def peek(self, parent_id: int, name: str) -> Optional[InodeRow]:
+        """TTL-checked lookup that leaves the hit/miss counters untouched.
+
+        The listing cache consults intermediate directory components here
+        during its pre-pool peek; counting those probes would double-book
+        every cacheable read against the dir-cache hit rate.
+        """
+        entry = self._entries.get((parent_id, name))
+        if entry is None:
+            return None
+        cached_at, row = entry
+        if self._now() - cached_at > self.ttl_ms:
+            del self._entries[(parent_id, name)]
+            return None
         return row
 
     def put(self, row: InodeRow) -> None:
         if not row.is_dir:
             return
-        if len(self._entries) >= self.max_entries:
-            self._entries.clear()
-        self._entries[(row.parent_id, row.name)] = (self._now(), row)
+        key = (row.parent_id, row.name)
+        # Bounded LRU: evict the oldest insertion instead of wiping the
+        # whole cache (which caused a deterministic periodic miss storm on
+        # the root-component hot path every time the cap was reached).
+        # Dict insertion order gives a deterministic eviction victim.
+        if self._entries.pop(key, None) is None and len(self._entries) >= self.max_entries:
+            self._entries.pop(next(iter(self._entries)))
+        self._entries[key] = (self._now(), row)
 
     def invalidate(self, parent_id: int, name: str) -> None:
         self._entries.pop((parent_id, name), None)

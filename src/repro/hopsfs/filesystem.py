@@ -107,6 +107,28 @@ class HopsFsDeployment:
             ),
         )
 
+    def prewarm_listing_caches(self) -> None:
+        """Pre-materialize every NN's listing cache from committed NDB state.
+
+        The paper's namenode bootstraps its cache with a snapshot when it
+        subscribes to the changelog; the stream keeps it fresh from there.
+        Call after the namespace is installed (experiment setup reaches
+        steady state long before the measurement window).  No-op with the
+        cache disabled.
+        """
+        if self.config.listing_cache is None:
+            return
+        rows: dict = {}
+        for dn in self.ndb.datanodes.values():
+            if not dn.running:
+                continue
+            for pk, row in dn.store.iter_rows("inodes"):
+                rows.setdefault(pk, row)
+        snapshot = [rows[pk] for pk in sorted(rows)]
+        for nn in self.namenodes:
+            if nn.running and nn.listing_cache is not None:
+                nn.listing_cache.prewarm(snapshot)
+
     def leader_namenode(self) -> Optional[Namenode]:
         for nn in self.namenodes:
             if nn.running and nn.is_leader:
@@ -171,6 +193,9 @@ class HopsFsDeployment:
         nn.mutation_ledger = self.mutation_ledger
         if self.group_ledger is not None:
             nn.attach_group_commit(self.group_ledger)
+        if self.config.listing_cache is not None:
+            nn.attach_listing_cache(self.ndb.changelog)
+            self.ndb.changelog.subscribe(nn.addr)
         self.namenodes.append(nn)
         self.provision_log.append(
             ProvisionRecord(index, str(addr), az, start_ms=self.env.now)
@@ -277,6 +302,10 @@ class HopsFsDeployment:
         for dn in self.block_datanodes:
             if nn.addr in dn.namenode_addrs:
                 dn.namenode_addrs.remove(nn.addr)
+        if nn.listing_cache is not None:
+            # Retired NNs stop receiving changelog fan-out (the bus would
+            # otherwise keep sending to a permanently-down address).
+            self.ndb.changelog.unsubscribe(nn.addr)
 
     def _watch_visibility(self, nn, event: ReconfigEvent, joining: bool) -> None:
         """Poll peers' membership views until the change is client-visible."""
@@ -439,6 +468,15 @@ def build_hopsfs(
         group_ledger = GroupCommitLedger(env)
         for nn in namenodes:
             nn.attach_group_commit(group_ledger)
+
+    # Pre-materialized listing cache (opt-in): attach a per-NN cache and
+    # subscribe each NN to the NDB changelog bus.  With config.listing_cache
+    # None the bus has zero subscribers and publishes nothing — the legacy
+    # path stays bit-identical to the pinned golden schedules.
+    if config.listing_cache is not None:
+        for nn in namenodes:
+            nn.attach_listing_cache(ndb.changelog)
+            ndb.changelog.subscribe(nn.addr)
 
     # Install the root directory before anything runs.
     ndb.preload("inodes", [((0, ""), 0, root_row())])

@@ -9,6 +9,7 @@ re-replication (Section IV-C2).
 
 from __future__ import annotations
 
+import dataclasses
 from typing import Optional
 
 from ..errors import (
@@ -34,7 +35,15 @@ from .datanode import CopyBlockReq
 from .dircache import DirCache
 from .groupcommit import GroupCommitter, groupable, op_paths
 from .leader import LeaderElectionService
-from .metadata import BLOCKS_TABLE, INODES_TABLE, RETRY_TABLE, IdGenerator, RetryRow
+from .listcache import ListingCache
+from .metadata import (
+    BLOCKS_TABLE,
+    INODES_TABLE,
+    RETRY_TABLE,
+    ROOT_INODE_ID,
+    IdGenerator,
+    RetryRow,
+)
 from .pathlock import normalize_path, split_path
 from .robust import RetryCache
 
@@ -48,6 +57,35 @@ class _Replay:
 
     def __init__(self, value):
         self.value = value
+
+
+class _FillRecorder:
+    """Per-op dir-cache shim that records rows for a listing-cache fill.
+
+    ``get``/``put``/``invalidate`` delegate to the real dir cache, so the
+    listing-cache miss path resolves at exactly the legacy cost.  Only the
+    rows the transaction *freshly read* (those it ``put``) are recorded
+    and imported into the listing cache — a row served from the dir cache
+    may be up to its TTL stale, which is fine for transactional resolution
+    (row locks re-verify the target) but must never become a
+    changelog-audited listing-cache entry.
+    """
+
+    __slots__ = ("_dir_cache", "rows")
+
+    def __init__(self, dir_cache):
+        self._dir_cache = dir_cache
+        self.rows = []
+
+    def get(self, parent_id, name):
+        return self._dir_cache.get(parent_id, name)
+
+    def put(self, row):
+        self._dir_cache.put(row)
+        self.rows.append(row)
+
+    def invalidate(self, parent_id, name):
+        self._dir_cache.invalidate(parent_id, name)
 
 
 class Namenode:
@@ -70,6 +108,13 @@ class Namenode:
         OpType.ABANDON_BLOCK: ops.abandon_block,
         OpType.COMPLETE_FILE: ops.complete_file,
     }
+
+    # Reads the pre-materialized listing cache may serve from NN memory.
+    # READ_FILE qualifies only for small (inlined) files — block reads
+    # still need the block rows and stay transactional.
+    _CACHE_OPS = frozenset(
+        {OpType.STAT, OpType.EXISTS, OpType.LIST_DIR, OpType.READ_FILE}
+    )
 
     def __init__(
         self,
@@ -101,7 +146,7 @@ class Namenode:
         )
         # Path-component cache: serves resolution of the read-mostly top of
         # the hierarchy and the DAT partition-key hints (FAST'17).
-        self.dir_cache = DirCache(now=lambda: env.now)
+        self.dir_cache = DirCache(now=lambda: env.now, env=env)
         self.ctx = ops.FsContext(
             ids=ids,
             now=lambda: env.now,
@@ -133,6 +178,10 @@ class Namenode:
         # set; both stay None on the legacy synchronous path.
         self.group_ledger = None
         self.committer: Optional[GroupCommitter] = None
+        # Pre-materialized listing/attr cache (opt-in): the deployment
+        # builder attaches one per NN and subscribes it to the NDB
+        # changelog when config.listing_cache is set; None = legacy path.
+        self.listing_cache: Optional[ListingCache] = None
         self._safemode_forced = False
         self._election_enabled = False
         self._dispatch_proc = None
@@ -163,6 +212,18 @@ class Namenode:
         self.group_ledger = ledger
         self.committer = GroupCommitter(self, self.config.async_commit, ledger)
 
+    def attach_listing_cache(self, bus) -> None:
+        """Opt this NN into the pre-materialized listing cache.
+
+        ``bus`` is the NDB cluster's changelog bus; the deployment builder
+        subscribes this NN's address separately so the fan-out order stays
+        deterministic.
+        """
+        env = self.env
+        self.listing_cache = ListingCache(
+            self.config.listing_cache, now=lambda: env.now, bus=bus, env=env
+        )
+
     def shutdown(self) -> None:
         self.running = False
         self.network.set_down(self.addr)
@@ -177,6 +238,10 @@ class Namenode:
         if self.running:
             return
         self.network.set_up(self.addr)
+        if self.listing_cache is not None:
+            # Changelog batches sent while this NN was down were dropped;
+            # flush and re-align with the bus before serving anything.
+            self.listing_cache.resync()
         self.start(election=self._election_enabled)
 
     def drain(self, grace_ms: float = 50.0, poll_ms: float = 1.0):
@@ -273,6 +338,11 @@ class Namenode:
             elif msg.kind == "block_received":
                 block_id, dn_addr = msg.payload
                 self.block_manager.on_block_received(block_id, dn_addr)
+            elif msg.kind == "ndb_changelog":
+                # One-way committed-mutation batch from an NDB TC; applied
+                # inline (pure state mutation, no events scheduled).
+                if self.listing_cache is not None:
+                    self.listing_cache.apply(msg.payload)
             else:
                 raise FsError(f"{self.addr}: unknown NN message {msg.kind!r}")
 
@@ -307,8 +377,21 @@ class Namenode:
                     now - span.start_ms, span.tags.get("ok", True) is not False, now,
                 )
 
-    def _fs_op_body(self, msg: Message, op: OpType, kwargs, span):
-        yield self.handler_pool.submit(self.config.op_cost(op))
+    def _fs_op_body(self, msg: Message, op: OpType, kwargs, span, pool_paid: bool = False):
+        cache = self.listing_cache
+        cacheable = cache is not None and op in self._CACHE_OPS
+        if not pool_paid and cacheable:
+            if self._cache_lookup(op, kwargs) is not None:
+                if (yield from self._serve_cached(msg, op, kwargs, span, cache)):
+                    return
+                # The entry was invalidated while this op queued on the
+                # handler pool; continue on the transactional path without
+                # re-paying the (already submitted) pool cost.
+                yield from self._fs_op_body(msg, op, kwargs, span, pool_paid=True)
+                return
+            cache.record_miss()
+        if not pool_paid:
+            yield self.handler_pool.submit(self.config.op_cost(op))
         if not self.running:
             return
         deadline_ms = msg.extra.get("deadline_ms")
@@ -349,7 +432,7 @@ class Namenode:
                 if self.env.obs is not None:
                     self.env.obs.registry.counter("nn.retry_cache.hit").inc()
                 self.ops_served += 1
-                self._post_commit(op, cached)
+                self._post_commit(op, cached, kwargs)
                 self.network.reply(msg, cached, size=self.config.client_response_bytes)
                 return
 
@@ -367,6 +450,17 @@ class Namenode:
             if paths and committer.has_conflict(paths):
                 yield from committer.await_clear(paths)
 
+        # Listing-cache miss path: resolve with fresh transactional reads
+        # (recorded for the fill) and capture a fill token so an
+        # invalidation racing this read discards the fill, not vice versa.
+        recorder = None
+        fill_token = None
+        call_ctx = self.ctx
+        if cacheable:
+            recorder = _FillRecorder(self.dir_cache)
+            call_ctx = dataclasses.replace(self.ctx, dir_cache=recorder)
+            fill_token = cache.begin_fill()
+
         def body(txn):
             if retry_id is not None:
                 # Phantom-safe exclusive read: a concurrent retry of the
@@ -379,7 +473,7 @@ class Namenode:
                 )
                 if prior is not None:
                     return _Replay(prior.result)
-            result = yield from fn(self.ctx, txn, **kwargs)
+            result = yield from fn(call_ctx, txn, **kwargs)
             if retry_id is not None:
                 # Same transaction as the mutation: an NN crash after commit
                 # cannot lose the replay record.
@@ -418,8 +512,129 @@ class Namenode:
                 # chaos exactly-once invariant checks ids never repeat.
                 self.mutation_ledger.append((tuple(retry_id), op.value))
         self.ops_served += 1
-        self._post_commit(op, result)
+        if recorder is not None:
+            self._cache_fill(op, kwargs, result, fill_token, recorder.rows)
+        self._post_commit(op, result, kwargs)
         self.network.reply(msg, result, size=self.config.client_response_bytes)
+
+    def _cache_lookup(self, op: OpType, kwargs):
+        """Try to answer ``op`` from the listing cache.
+
+        Returns a one-tuple ``(result,)`` on a servable hit (the tuple
+        distinguishes a cached ``None``/``False`` from a miss) or ``None``
+        when the transactional path must run.
+        """
+        cache = self.listing_cache
+        path = kwargs.get("path")
+        if path is None:
+            return None
+        committer = self.committer
+        if committer is not None:
+            # Async group commit: an early-acked batch touching this path
+            # may not have committed (and so not invalidated) yet.  Serving
+            # from cache here would break read-your-writes; fall through to
+            # the sync path, which awaits the conflicting batch.
+            paths = op_paths(op, kwargs)
+            if paths and committer.has_conflict(paths):
+                return None
+        definitive, row = cache.resolve(
+            path,
+            dir_cache=self.dir_cache,
+            final_from_dir_cache=op is OpType.LIST_DIR,
+        )
+        if not definitive:
+            return None
+        if op is OpType.EXISTS:
+            return (row is not None,)
+        if row is None:
+            return None  # FileNotFound error paths stay transactional
+        if op is OpType.STAT:
+            return (row,)
+        if op is OpType.READ_FILE:
+            if row.is_dir or row.small_data is None:
+                return None  # large files read blocks transactionally
+            return (ops.FileContent(inode=row, small_data=row.small_data),)
+        if op is OpType.LIST_DIR:
+            if not row.is_dir:
+                return None  # NotADirectory error path stays transactional
+            names = cache.listing(row.id)
+            if names is None:
+                return None
+            return (names,)
+        return None
+
+    def _serve_cached(self, msg: Message, op: OpType, kwargs, span, cache):
+        """Serve a cache hit from NN memory, skipping NDB entirely.
+
+        Pays a reduced handler-pool cost (a hash lookup instead of
+        transaction setup and coordinator round trips), then re-resolves:
+        an invalidation may have landed while this op queued.  Returns
+        True when a reply was sent, False to fall back to the txn path.
+        """
+        obs = self.env.obs
+        serve_span = None
+        if obs is not None:
+            serve_span = obs.tracer.start(
+                "nn.cache.serve", parent=span,
+                host=str(self.addr), az=self.az, op=op.value,
+            )
+        try:
+            yield self.handler_pool.submit(
+                self.config.op_cost(op) * cache.config.hit_cost_frac
+            )
+            if not self.running:
+                return True  # dropped, like any op caught mid-shutdown
+            deadline_ms = msg.extra.get("deadline_ms")
+            if deadline_ms is not None:
+                remaining = deadline_ms - self.env.now
+                if obs is not None:
+                    obs.registry.histogram("nn.deadline_remaining_ms").observe(remaining)
+                if remaining <= 0:
+                    self.ops_failed += 1
+                    self.network.reply(
+                        msg,
+                        DeadlineExceededError(f"{op.value} deadline expired at {self.addr}"),
+                        ok=False,
+                    )
+                    return True
+            hit = self._cache_lookup(op, kwargs)
+            if hit is None:
+                cache.record_miss()
+                return False
+            cache.record_hit()
+            self.ops_served += 1
+            self.network.reply(msg, hit[0], size=self.config.client_response_bytes)
+            return True
+        finally:
+            if serve_span is not None:
+                obs.tracer.finish(serve_span)
+
+    def _cache_fill(self, op: OpType, kwargs, result, token, rows) -> None:
+        """Populate the listing cache from a transactional read's rows.
+
+        Only rows read (or the result produced) inside the transaction are
+        filled — never dir-cache contents, which may be seconds stale and
+        are not changelog-invalidated.  ``token`` discards fills that raced
+        an invalidation of the same directory.
+        """
+        cache = self.listing_cache
+        if cache is None:
+            return
+        for row in rows:
+            if row.id != ROOT_INODE_ID:
+                cache.fill_attr(token, row)
+        if op is OpType.STAT and result is not None:
+            if result.id != ROOT_INODE_ID:
+                cache.fill_attr(token, result)
+        elif op is OpType.READ_FILE and result is not None:
+            if result.small_data is not None and result.inode.id != ROOT_INODE_ID:
+                cache.fill_attr(token, result.inode)
+        elif op is OpType.LIST_DIR:
+            definitive, row = cache.resolve(
+                kwargs["path"], dir_cache=self.dir_cache, final_from_dir_cache=True
+            )
+            if definitive and row is not None and row.is_dir:
+                cache.fill_listing(token, row.id, result)
 
     def _fsync(self, msg: Message, kwargs):
         """Durability barrier: wait until the caller's horizons settle.
@@ -453,7 +668,7 @@ class Namenode:
         self.ops_served += 1
         self.network.reply(msg, True, size=self.config.client_response_bytes)
 
-    def _post_commit(self, op: OpType, result) -> None:
+    def _post_commit(self, op: OpType, result, kwargs=None) -> None:
         """In-memory bookkeeping a (possibly replayed) result implies.
 
         A replayed ADD_BLOCK may be served by an NN that never saw the
@@ -463,6 +678,12 @@ class Namenode:
         if op is OpType.ADD_BLOCK and result is not None:
             self.block_manager.record_new_block(result.block_id, result.locations)
             self.block_manager.block_inode[result.block_id] = result.inode_id
+        if op.mutates and self.listing_cache is not None and kwargs is not None:
+            # Read-your-writes belt-and-braces: the changelog invalidation
+            # is already in flight (published at the TC commit point, before
+            # this reply), but drop our own entries eagerly too.
+            for components in op_paths(op, kwargs):
+                self.listing_cache.invalidate_path("/" + "/".join(components))
 
     def _hint_for(self, kwargs) -> Optional[int]:
         """DAT hint: the target's parent directory id, from the dir cache.

@@ -8,6 +8,7 @@ proximity ordering, the 4-case TC selection policy, heartbeat failure
 detection, and split-brain arbitration.
 """
 
+from .changelog import CHANGELOG_KIND, ChangelogBatch, ChangelogBus
 from .client import NdbApi, NdbTransaction, run_transaction
 from .cluster import NdbCluster, az_assignment_for
 from .config import TABLE2_THREADS, NdbConfig, NdbCosts, ThreadConfig
@@ -19,6 +20,9 @@ from .store import FragmentStore, ReadStats
 from .tc_selection import select_read_replica, select_tc
 
 __all__ = [
+    "CHANGELOG_KIND",
+    "ChangelogBatch",
+    "ChangelogBus",
     "NdbApi",
     "NdbTransaction",
     "run_transaction",

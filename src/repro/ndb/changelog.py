@@ -1,0 +1,119 @@
+"""NDB changelog: committed-row-mutation stream for subscriber caches.
+
+The listing cache (``repro.hopsfs.listcache``) pre-materializes directory
+listings and inode attributes in NN memory; its invalidation signal is
+this changelog.  When a transaction coordinator reaches the commit point
+(all ChainCommits applied), it publishes the transaction's row images —
+``(table, pk, partition_key, value)`` with :data:`~repro.ndb.schema.TOMBSTONE`
+values for deletes — to the cluster's :class:`ChangelogBus`, which fans
+them out as one-way ``ndb_changelog`` messages to every subscribed NN.
+
+Delivery is fire-and-forget: messages to crashed or partitioned NNs are
+silently dropped by the network.  Correctness therefore rests on two
+gates carried in every batch:
+
+* **sequence** — the bus stamps batches with a globally monotonically
+  increasing ``seq``.  A subscriber that sees a gap (it missed a batch)
+  flushes its cache rather than applying the batch over stale state.
+* **epoch** — TC failure take-over can roll a transaction *forward* on a
+  survivor without the TC-side op images, so its row mutations cannot be
+  itemized.  The take-over protocol bumps the bus epoch instead; any
+  batch carrying a new epoch makes subscribers flush wholesale.
+
+With zero subscribers (``HopsFsConfig.listing_cache=None`` — the
+default), ``publish`` is a pure no-op: no messages, no events, no state,
+so every legacy schedule stays bit-identical to the pinned goldens.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Sequence
+
+from ..net.network import Message
+from ..types import NodeAddress
+
+__all__ = ["ChangelogBatch", "ChangelogBus", "CHANGELOG_KIND"]
+
+CHANGELOG_KIND = "ndb_changelog"
+
+# Wire-size model: batch header plus one row image per record.
+_BATCH_HEADER_BYTES = 96
+_RECORD_BYTES = 64
+
+
+@dataclass(frozen=True)
+class ChangelogBatch:
+    """One committed transaction's row mutations, sequence- and epoch-stamped."""
+
+    epoch: int
+    seq: int
+    # (table, pk, partition_key, value) per committed row op; ``value`` is
+    # TOMBSTONE for deletes.  Rows of tables a subscriber does not cache
+    # still advance its applied sequence.
+    records: tuple
+
+    @property
+    def size(self) -> int:
+        return _BATCH_HEADER_BYTES + _RECORD_BYTES * len(self.records)
+
+
+class ChangelogBus:
+    """Cluster-level fan-out of committed row mutations to subscriber NNs."""
+
+    def __init__(self, network):
+        self.network = network
+        self.epoch = 0
+        self.seq = 0
+        # Sorted for deterministic fan-out order (schedule determinism).
+        self._subscribers: list[NodeAddress] = []
+        self.published = 0  # batches published (counts epoch bumps too)
+
+    @property
+    def subscribers(self) -> tuple[NodeAddress, ...]:
+        return tuple(self._subscribers)
+
+    def subscribe(self, addr: NodeAddress) -> None:
+        if addr not in self._subscribers:
+            self._subscribers.append(addr)
+            self._subscribers.sort()
+
+    def unsubscribe(self, addr: NodeAddress) -> None:
+        if addr in self._subscribers:
+            self._subscribers.remove(addr)
+
+    def publish(self, src: NodeAddress, records: Sequence[tuple]) -> None:
+        """Fan out one committed transaction's row images from TC ``src``."""
+        if not self._subscribers or not records:
+            return
+        self.seq += 1
+        self.published += 1
+        batch = ChangelogBatch(epoch=self.epoch, seq=self.seq, records=tuple(records))
+        self._fan_out(src, batch)
+
+    def bump_epoch(self, src: NodeAddress) -> None:
+        """Invalidate every subscriber cache wholesale (take-over roll-forward).
+
+        The surviving datanode that rolled the orphaned transaction forward
+        cannot itemize its row images, so subscribers must not trust any
+        cached entry from the old epoch.
+        """
+        self.epoch += 1
+        if not self._subscribers:
+            return
+        self.seq += 1
+        self.published += 1
+        batch = ChangelogBatch(epoch=self.epoch, seq=self.seq, records=())
+        self._fan_out(src, batch)
+
+    def _fan_out(self, src: NodeAddress, batch: ChangelogBatch) -> None:
+        for addr in self._subscribers:
+            self.network.send(
+                Message(
+                    src=src,
+                    dst=addr,
+                    kind=CHANGELOG_KIND,
+                    payload=batch,
+                    size=batch.size,
+                )
+            )

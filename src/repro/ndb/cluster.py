@@ -15,6 +15,7 @@ from ..errors import ConfigError
 from ..net.network import Network
 from ..sim import Environment, RngRegistry
 from ..types import AzId, NodeAddress, NodeKind
+from .changelog import ChangelogBus
 from .client import NdbApi
 from .config import NdbConfig
 from .datanode import NdbDatanode
@@ -90,6 +91,10 @@ class NdbCluster:
 
         self.heartbeats = HeartbeatProtocol(self)
         self._heartbeats_started = False
+        # Committed-mutation stream for subscriber caches (listing cache).
+        # With no subscribers every publish is a pure no-op, so legacy
+        # schedules stay bit-identical.
+        self.changelog = ChangelogBus(network)
 
     # ------------------------------------------------------------------ life
     def start(self, heartbeats: bool = True) -> None:
@@ -208,11 +213,18 @@ class NdbCluster:
         for dn in survivors:
             for dead in sorted(dead_addrs):
                 orphaned |= dn.txids_coordinated_by(dead)
+        rolled_forward = False
         for txid in sorted(orphaned):
             commit = any(dn.has_commit_evidence(txid) for dn in survivors)
+            rolled_forward = rolled_forward or commit
             for dn in survivors:
                 dn.take_over(txid, commit)
             self.unregister_txn(txid)
+        # A roll-forward commits rows without the dead TC's op images, so
+        # the changelog cannot itemize them; bump the epoch and subscriber
+        # caches flush wholesale instead of trusting stale entries.
+        if rolled_forward and survivors:
+            self.changelog.bump_epoch(survivors[0].addr)
 
     def restart_datanode(self, addr: NodeAddress):
         """Node recovery: rejoin a failed datanode (generator).

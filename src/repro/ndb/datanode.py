@@ -595,6 +595,13 @@ class NdbDatanode:
             self._drop_txn(req.txid)
             self._reply(msg, TransactionAbortedError(str(exc)), ok=False)
             return
+        # Commit point reached: publish the transaction's row images on the
+        # changelog so subscriber caches (listing cache) can invalidate.
+        # A pure no-op with zero subscribers (listing_cache=None).
+        self.cluster.changelog.publish(
+            self.addr,
+            [(op.table, op.pk, op.partition_key, op.value) for op in ops],
+        )
         # Send Complete to every backup replica.  For Read Backup / Fully
         # Replicated tables the paper delays the client ACK until all
         # Completed messages arrive (message 14 instead of 10 in Fig. 2).

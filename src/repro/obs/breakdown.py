@@ -32,13 +32,14 @@ _ROOT_NAMES = ("client.op", "kclient.op")
 _METADATA_NAMES = ("nn.handle", "mds.handle")
 _BLOCK_PREFIXES = ("rpc.read_block", "rpc.write_block", "rpc.osd_read", "rpc.osd_write")
 _LOCK_NAMES = ("ndb.lock.wait", "pathlock.wait")
+_CACHE_NAMES = ("nn.cache.serve",)
 
 
 class OpBreakdown:
     """Aggregated phase attribution for one operation type."""
 
     __slots__ = ("op", "count", "total_ms", "metadata_ms", "block_ms",
-                 "lock_wait_ms", "cross_az_hops", "retries")
+                 "lock_wait_ms", "cache_ms", "cross_az_hops", "retries")
 
     def __init__(self, op: str):
         self.op = op
@@ -47,12 +48,13 @@ class OpBreakdown:
         self.metadata_ms = 0.0
         self.block_ms = 0.0
         self.lock_wait_ms = 0.0
+        self.cache_ms = 0.0
         self.cross_az_hops = 0
         self.retries = 0
 
     @property
     def other_ms(self) -> float:
-        known = self.metadata_ms + self.block_ms + self.lock_wait_ms
+        known = self.metadata_ms + self.block_ms + self.lock_wait_ms + self.cache_ms
         return max(0.0, self.total_ms - known)
 
     def avg(self, total: float) -> float:
@@ -66,6 +68,7 @@ class OpBreakdown:
             "avg_metadata_ms": self.avg(self.metadata_ms),
             "avg_block_ms": self.avg(self.block_ms),
             "avg_lock_wait_ms": self.avg(self.lock_wait_ms),
+            "avg_cache_ms": self.avg(self.cache_ms),
             "avg_other_ms": self.avg(self.other_ms),
             "cross_az_hops_per_op": self.cross_az_hops / self.count if self.count else 0.0,
             "retries": self.retries,
@@ -112,6 +115,8 @@ def phase_breakdown(tracer: Tracer) -> Dict[str, OpBreakdown]:
                 agg.block_ms += span.duration_ms
             elif span.name in _LOCK_NAMES:
                 agg.lock_wait_ms += span.duration_ms
+            elif span.name in _CACHE_NAMES:
+                agg.cache_ms += span.duration_ms
             if span.name.startswith("rpc.") and span.tags.get("cross_az"):
                 agg.cross_az_hops += 1
     return out
@@ -134,7 +139,7 @@ def breakdown_table(tracer: Tracer, title: str = "Latency breakdown") -> Table:
     table = Table(
         title=title,
         headers=["op", "count", "avg total ms", "metadata ms", "block ms",
-                 "lock wait ms", "other ms", "xAZ hops/op"],
+                 "lock wait ms", "cache ms", "other ms", "xAZ hops/op"],
     )
     rows = sorted(phase_breakdown(tracer).values(), key=lambda b: -b.count)
     for b in rows:
@@ -145,6 +150,7 @@ def breakdown_table(tracer: Tracer, title: str = "Latency breakdown") -> Table:
             b.avg(b.metadata_ms),
             b.avg(b.block_ms),
             b.avg(b.lock_wait_ms),
+            b.avg(b.cache_ms),
             b.avg(b.other_ms),
             b.cross_az_hops / b.count if b.count else 0.0,
         )

@@ -44,6 +44,7 @@ def test_catalogue_green_on_healthy_cluster(ready_target):
         "durability-horizon",
         "drained-ack-integrity",
         "membership-convergence",
+        "listing-consistency",
         "deadline-compliance",
     ]
     assert all(v.ok for v in verdicts), [str(v) for v in verdicts]

@@ -20,6 +20,7 @@ def make_fs(
     robust=None,
     async_commit=None,
     elastic=None,
+    listing_cache=None,
     **ndb_kwargs,
 ):
     """A small, fast deployment for functional tests."""
@@ -32,6 +33,7 @@ def make_fs(
         robust=robust,
         async_commit=async_commit,
         elastic=elastic,
+        listing_cache=listing_cache,
     )
     ndb_config = NdbConfig(
         num_datanodes=num_ndb_datanodes,

@@ -1,0 +1,476 @@
+"""The pre-materialized listing/attr cache and its changelog invalidation.
+
+Three layers of coverage:
+
+* unit tests over :class:`~repro.hopsfs.listcache.ListingCache` gating
+  (fill tokens, epoch bumps, out-of-order batches, LRU bounds, TTL);
+* functional tests on a small deployment (hits actually serve, mutations
+  invalidate every NN's cache, read-your-writes, obs counters);
+* a differential harness: the same scripted workload with the cache on
+  vs off must be client-observably identical, and the listing-consistency
+  invariant must hold at the end of the cached run.
+"""
+
+import random
+
+from repro.chaos.invariants import listing_consistency, namespace_integrity
+from repro.errors import FsError
+from repro.hopsfs.listcache import ListingCache, ListingCacheConfig
+from repro.hopsfs.metadata import INODES_TABLE, InodeRow
+from repro.hopsfs.snapshot import namespace_snapshot
+from repro.ndb.changelog import ChangelogBatch
+from repro.ndb.schema import TOMBSTONE
+
+from .conftest import make_fs, run
+
+
+class _FakeBus:
+    epoch = 0
+    seq = 0
+
+
+def _cache(**kwargs):
+    clock = [0.0]
+    cache = ListingCache(
+        ListingCacheConfig(**kwargs), now=lambda: clock[0], bus=_FakeBus()
+    )
+    return cache, clock
+
+
+def _row(inode_id, parent_id, name, is_dir=False):
+    return InodeRow(id=inode_id, parent_id=parent_id, name=name, is_dir=is_dir)
+
+
+def _batch(seq, records, epoch=0):
+    return ChangelogBatch(epoch=epoch, seq=seq, records=tuple(records))
+
+
+# ------------------------------------------------------------------ unit tests
+def test_resolve_serves_filled_rows_and_listing_absence():
+    cache, _clock = _cache()
+    token = cache.begin_fill()
+    d = _row(2, 1, "d", is_dir=True)
+    f = _row(3, 2, "f")
+    cache.fill_attr(token, d)
+    cache.fill_attr(token, f)
+    cache.fill_listing(token, 2, ["f"])
+    assert cache.resolve("/d") == (True, d)
+    assert cache.resolve("/d/f") == (True, f)
+    # The materialized listing proves absence definitively.
+    assert cache.resolve("/d/nope") == (True, None)
+    # No listing for root: /other is undecidable, not absent.
+    assert cache.resolve("/other") == (False, None)
+    assert cache.listing(2) == ["f"]
+
+
+def test_fill_race_discarded_after_invalidation():
+    cache, _clock = _cache()
+    token = cache.begin_fill()  # transactional read begins...
+    cache.apply(_batch(1, [(INODES_TABLE, (1, "d"), 1, TOMBSTONE)]))
+    cache.fill_attr(token, _row(2, 1, "d", is_dir=True))  # ...fill loses
+    assert cache.discarded_fills == 1
+    assert cache.resolve("/d") == (False, None)
+    # A fresh token filled after the invalidation is accepted.
+    cache.fill_attr(cache.begin_fill(), _row(2, 1, "d", is_dir=True))
+    assert cache.resolve("/d")[0] is True
+
+
+def test_fill_discarded_after_flush():
+    cache, _clock = _cache()
+    token = cache.begin_fill()
+    cache.flush()
+    cache.fill_attr(token, _row(2, 1, "d"))
+    assert cache.discarded_fills == 1
+    assert len(cache) == 0
+
+
+def test_invalidation_pops_attr_and_both_listings():
+    cache, _clock = _cache()
+    token = cache.begin_fill()
+    d = _row(2, 1, "d", is_dir=True)
+    cache.fill_attr(token, d)
+    cache.fill_listing(token, 1, ["d"])
+    cache.fill_listing(token, 2, ["f"])
+    cache.apply(_batch(1, [(INODES_TABLE, (1, "d"), 1, TOMBSTONE)]))
+    assert cache.resolve("/d") == (False, None)
+    assert cache.listing(1) is None  # parent listing changed
+    assert cache.listing(2) is None  # the dir itself is gone
+
+
+def test_out_of_order_batches_apply_without_flush():
+    cache, _clock = _cache()
+    token = cache.begin_fill()
+    cache.fill_attr(token, _row(2, 1, "a"))
+    cache.fill_attr(token, _row(3, 1, "b"))
+    # seq 2 lands before seq 1: both must apply, nothing flushes.
+    cache.apply(_batch(2, [(INODES_TABLE, (1, "a"), 1, TOMBSTONE)]))
+    assert cache.applied_seq == 0 and cache.flushes == 0
+    cache.apply(_batch(1, [(INODES_TABLE, (1, "b"), 1, TOMBSTONE)]))
+    assert cache.applied_seq == 2 and not cache._pending
+    assert cache.flushes == 0 and cache.batches_applied == 2
+    # Duplicates / stale batches are ignored.
+    cache.apply(_batch(1, [(INODES_TABLE, (1, "b"), 1, TOMBSTONE)]))
+    assert cache.stale_batches == 1
+
+
+def test_pending_overflow_flushes_lost_hole():
+    cache, _clock = _cache(max_pending_batches=3)
+    cache.fill_attr(cache.begin_fill(), _row(2, 1, "a"))
+    # seq 1 never arrives; 2..5 pile up past the window.
+    for seq in (2, 3, 4, 5):
+        cache.apply(_batch(seq, [(INODES_TABLE, (9, "x"), 9, TOMBSTONE)]))
+    assert cache.flushes == 1
+    assert cache.applied_seq == 5 and not cache._pending
+    assert len(cache) == 0
+
+
+def test_epoch_bump_flushes_wholesale():
+    cache, _clock = _cache()
+    cache.fill_attr(cache.begin_fill(), _row(2, 1, "a"))
+    cache.apply(_batch(7, [], epoch=1))
+    assert cache.epoch == 1 and cache.applied_seq == 7
+    assert cache.flushes == 1 and len(cache) == 0
+    # Old-epoch stragglers are ignored.
+    cache.apply(_batch(8, [(INODES_TABLE, (1, "a"), 1, TOMBSTONE)], epoch=0))
+    assert cache.stale_batches == 1
+
+
+def test_ttl_expires_entries():
+    cache, clock = _cache(ttl_ms=10.0)
+    token = cache.begin_fill()
+    cache.fill_attr(token, _row(2, 1, "d", is_dir=True))
+    cache.fill_listing(token, 2, ["f"])
+    assert cache.resolve("/d")[0] is True
+    clock[0] = 11.0
+    assert cache.resolve("/d") == (False, None)
+    assert cache.listing(2) is None
+    assert cache.live_attrs(clock[0]) == [] and cache.live_listings(clock[0]) == []
+
+
+def test_lru_bounds_evict_oldest():
+    cache, _clock = _cache(max_attr_entries=2, max_listing_entries=2)
+    token = cache.begin_fill()
+    for i, name in enumerate(("a", "b", "c")):
+        cache.fill_attr(token, _row(10 + i, 1, name))
+        cache.fill_listing(token, 10 + i, [name])
+    assert len(cache._attrs) == 2 and len(cache._listings) == 2
+    assert (1, "a") not in cache._attrs  # oldest attr evicted
+    assert 10 not in cache._listings  # oldest listing evicted
+    assert (1, "c") in cache._attrs
+
+
+def test_eager_invalidate_path_walks_and_drops():
+    cache, _clock = _cache()
+    token = cache.begin_fill()
+    d = _row(2, 1, "d", is_dir=True)
+    f = _row(3, 2, "f")
+    cache.fill_attr(token, d)
+    cache.fill_attr(token, f)
+    cache.fill_listing(token, 2, ["f"])
+    cache.invalidate_path("/d/f")
+    assert cache.resolve("/d/f") == (False, None)
+    assert cache.listing(2) is None
+    # A fill begun before the eager invalidation is discarded.
+    cache.fill_attr(token, f)
+    assert cache.discarded_fills == 1
+
+
+# ------------------------------------------------------------ functional tests
+def _warm_fs():
+    fs = make_fs(num_namenodes=2, listing_cache=ListingCacheConfig())
+    client = fs.client()
+
+    def setup():
+        yield from fs.await_election()
+        yield from client.mkdir("/d")
+        yield from client.create("/d/f", data=b"hello")
+
+    run(fs, setup())
+    return fs, client
+
+
+def test_cache_serves_hot_reads_from_nn_memory():
+    fs, client = _warm_fs()
+    out = {}
+
+    def reads():
+        for _ in range(2):  # first round fills, second hits
+            out["list"] = yield from client.listdir("/d")
+            out["stat"] = yield from client.stat("/d/f")
+            out["read"] = yield from client.read("/d/f")
+            out["exists"] = yield from client.exists("/d/f")
+
+    run(fs, reads())
+    assert out["list"] == ["f"]
+    assert out["stat"].name == "f" and not out["stat"].is_dir
+    assert bytes(out["read"].small_data) == b"hello"
+    assert out["exists"] is True
+    hits = sum(nn.listing_cache.hits for nn in fs.namenodes)
+    fills = sum(nn.listing_cache.fills for nn in fs.namenodes)
+    assert hits >= 4  # the whole second round was served from memory
+    assert fills > 0
+
+
+def test_mutation_invalidates_every_nn_via_changelog():
+    fs, client = _warm_fs()
+    out = {}
+
+    def flow():
+        yield from client.listdir("/d")  # warm the serving NN
+        yield from client.listdir("/d")
+        yield from client.delete("/d/f")
+        yield fs.env.timeout(50.0)  # changelog fan-out settles
+        out["list"] = yield from client.listdir("/d")
+        out["exists"] = yield from client.exists("/d/f")
+
+    run(fs, flow())
+    assert out["list"] == []
+    assert out["exists"] is False
+    # Every NN saw the invalidation traffic, not just the mutating one.
+    for nn in fs.namenodes:
+        assert nn.listing_cache.batches_applied > 0
+    assert fs.ndb.changelog.published > 0
+    assert listing_consistency(fs).ok
+
+
+def test_read_your_writes_on_the_same_nn():
+    fs, client = _warm_fs()
+    out = {}
+
+    def flow():
+        # Warm, then mutate and immediately re-read with no settle time:
+        # the eager invalidation (and commit-point changelog ordering)
+        # must keep the client from seeing its own write shadowed.
+        yield from client.listdir("/d")
+        yield from client.listdir("/d")
+        yield from client.create("/d/g", data=b"x")
+        out["list"] = yield from client.listdir("/d")
+        out["stat"] = yield from client.stat("/d/g")
+
+    run(fs, flow())
+    assert out["list"] == ["f", "g"]
+    assert out["stat"].name == "g"
+
+
+def test_cache_counters_reach_obs_registry():
+    from repro.obs import ObsContext
+
+    obs = ObsContext()
+    fs = make_fs(num_namenodes=2, listing_cache=ListingCacheConfig())
+    obs.attach(fs.env)
+    client = fs.client()
+
+    def flow():
+        yield from fs.await_election()
+        yield from client.mkdir("/d")
+        yield from client.listdir("/d")
+        yield from client.listdir("/d")
+
+    run(fs, flow())
+    registry = fs.env.obs.registry
+    counters = dict(registry.snapshot().get("counters", {}))
+    assert counters.get("nn.listcache.hit", 0) >= 1
+    assert counters.get("nn.listcache.miss", 0) >= 1
+    assert counters.get("nn.listcache.invalidation", 0) >= 1
+
+
+def test_restart_resyncs_with_the_bus():
+    fs, client = _warm_fs()
+    nn = fs.namenodes[0]
+    out = {}
+
+    def flow():
+        yield from client.listdir("/d")
+        yield from client.listdir("/d")
+        nn.shutdown()
+        yield fs.env.timeout(5.0)
+        nn.restart()
+        out["epoch"] = nn.listing_cache.epoch
+
+    run(fs, flow())
+    assert len(nn.listing_cache) == 0  # flushed on restart
+    assert nn.listing_cache.epoch == fs.ndb.changelog.epoch
+    assert nn.listing_cache.applied_seq == fs.ndb.changelog.seq
+
+
+def test_prewarm_materializes_snapshot_and_stays_stream_fresh():
+    fs, client = _warm_fs()
+    fs.prewarm_listing_caches()
+    nn = fs.namenodes[0]
+    assert len(nn.listing_cache._attrs) == 2  # /d and /d/f
+    out = {}
+
+    def flow():
+        out["list"] = yield from client.listdir("/d")  # served prewarmed
+        yield from client.create("/d/g", data=b"")  # changelog pops /d
+        yield fs.env.timeout(50.0)
+        out["after"] = yield from client.listdir("/d")
+
+    run(fs, flow())
+    assert out["list"] == ["f"]
+    assert out["after"] == ["f", "g"]
+    assert sum(nn.listing_cache.hits for nn in fs.namenodes) >= 1
+    from repro.chaos.invariants import listing_consistency
+
+    assert listing_consistency(fs).ok
+
+
+def test_prewarm_refuses_oversized_snapshot():
+    small, _clock = _cache(max_attr_entries=1)
+    rows = [_row(2, 1, "d", is_dir=True), _row(3, 2, "f")]
+    small.prewarm(rows)
+    # A partial materialization could wrongly prove absence; refuse instead.
+    assert len(small) == 0
+
+
+def test_cache_off_publishes_nothing():
+    fs = make_fs(num_namenodes=2)
+    client = fs.client()
+
+    def flow():
+        yield from fs.await_election()
+        yield from client.mkdir("/d")
+        yield from client.create("/d/f", data=b"x")
+        yield from client.listdir("/d")
+
+    run(fs, flow())
+    # Zero subscribers: the bus never sequences or sends anything, so the
+    # legacy event schedule is untouched (the pinned goldens prove the
+    # stronger bit-identical claim).
+    assert fs.ndb.changelog.published == 0
+    assert fs.ndb.changelog.seq == 0
+    assert all(nn.listing_cache is None for nn in fs.namenodes)
+    assert listing_consistency(fs).detail == "n/a (listing cache off)"
+
+
+# ------------------------------------------------------------- differential
+NUM_CLIENTS = 4
+OPS_PER_CLIENT = 40
+SEED = 1337
+
+
+def build_scripts(seed: int):
+    """Per-client scripts over disjoint subtrees, read-heavy like Spotify."""
+    rng = random.Random(seed)
+    scripts = []
+    for i in range(NUM_CLIENTS):
+        root = f"/c{i}"
+        ops = [("mkdir", (root,))]
+        dirs = [root]
+        files = []
+        counter = 0
+        for _ in range(OPS_PER_CLIENT):
+            r = rng.random()
+            counter += 1
+            if r < 0.15 or not files:
+                d = rng.choice(dirs)
+                data = bytes([65 + counter % 26]) * rng.randrange(1, 64)
+                path = f"{d}/f{counter}"
+                ops.append(("create", (path, data)))
+                files.append(path)
+            elif r < 0.25:
+                d = rng.choice(dirs)
+                path = f"{d}/d{counter}"
+                ops.append(("mkdir", (path,)))
+                dirs.append(path)
+            elif r < 0.45:
+                ops.append(("read", (rng.choice(files),)))
+            elif r < 0.60:
+                ops.append(("stat", (rng.choice(files),)))
+            elif r < 0.75:
+                ops.append(("listdir", (rng.choice(dirs),)))
+            elif r < 0.83:
+                ops.append(("exists", (rng.choice(files),)))
+            elif r < 0.89:
+                src = files.pop(rng.randrange(len(files)))
+                dst = f"{rng.choice(dirs)}/r{counter}"
+                ops.append(("rename", (src, dst)))
+                files.append(dst)
+            elif r < 0.95:
+                victim = files.pop(rng.randrange(len(files)))
+                ops.append(("delete", (victim,)))
+            else:
+                kind = rng.randrange(2)
+                if kind == 0:
+                    ops.append(("read", (f"{root}/missing{counter}",)))
+                else:
+                    ops.append(("listdir", (f"{root}/nodir{counter}",)))
+        scripts.append(ops)
+    return scripts
+
+
+def _apply(client, name, args):
+    if name == "mkdir":
+        return client.mkdir(*args)
+    if name == "create":
+        return client.create(args[0], data=args[1])
+    if name == "read":
+        return client.read(*args)
+    if name == "stat":
+        return client.stat(*args)
+    if name == "listdir":
+        return client.listdir(*args)
+    if name == "exists":
+        return client.exists(*args)
+    if name == "rename":
+        return client.rename(*args)
+    if name == "delete":
+        return client.delete(*args)
+    raise AssertionError(f"unknown scripted op {name}")
+
+
+def _observe(name, result):
+    if name == "read":
+        return bytes(result.small_data) if result.is_small else result.inode.size
+    if name == "stat":
+        return (result.is_dir, result.size, result.permission)
+    if name == "listdir":
+        return tuple(sorted(getattr(row, "name", row) for row in result))
+    if name == "exists":
+        return bool(result)
+    return None
+
+
+def run_mode(listing_cache):
+    fs = make_fs(num_namenodes=2, listing_cache=listing_cache, seed=7)
+    scripts = build_scripts(SEED)
+    records = [[] for _ in scripts]
+    done = []
+
+    def client_proc(idx, client, script):
+        for name, args in script:
+            try:
+                result = yield from _apply(client, name, args)
+                records[idx].append((name, "ok", _observe(name, result)))
+            except FsError as exc:
+                records[idx].append((name, type(exc).__name__, None))
+        done.append(idx)
+
+    clients = [fs.client() for _ in scripts]
+    for idx, (client, script) in enumerate(zip(clients, scripts)):
+        fs.env.process(client_proc(idx, client, script), name=f"lc-client{idx}")
+    fs.env.run(until=20_000)
+    assert sorted(done) == list(range(NUM_CLIENTS)), "a scripted client stalled"
+    fs.env.run(until=fs.env.now + 100.0)
+    return records, namespace_snapshot(fs), fs
+
+
+def test_cached_run_is_client_observably_identical():
+    plain_records, plain_snap, _plain_fs = run_mode(None)
+    cached_records, cached_snap, cached_fs = run_mode(ListingCacheConfig())
+
+    for idx, (p_rec, c_rec) in enumerate(zip(plain_records, cached_records)):
+        assert c_rec == p_rec, f"client {idx} diverged: {c_rec} != {p_rec}"
+    assert cached_snap == plain_snap
+
+    # The cached run really served from memory (no silent fallthrough)...
+    hits = sum(nn.listing_cache.hits for nn in cached_fs.namenodes)
+    assert hits > 0
+    # ...and what remains live in every cache matches committed NDB state.
+    assert listing_consistency(cached_fs).ok
+    assert namespace_integrity(cached_fs).ok
+
+
+def test_scripts_are_deterministic():
+    assert build_scripts(SEED) == build_scripts(SEED)
+    assert build_scripts(SEED) != build_scripts(SEED + 1)
